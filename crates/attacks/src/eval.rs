@@ -1,0 +1,288 @@
+//! The §7 evaluation harness: run a pattern over sampled victim
+//! positions of one bank and report the paper's metrics.
+//!
+//! Scale note (DESIGN.md §3): the paper sweeps whole 32K–64K-row banks;
+//! this harness samples victim positions evenly across the bank, which
+//! is unbiased for the percentage metrics, and supports scaled-down bank
+//! builds for quick runs. Full-bank sweeps are a matter of passing every
+//! position.
+
+use dram_sim::{Bank, DataPattern, Module, PhysRow};
+use softmc::MemoryController;
+use utrr_modules::ModuleSpec;
+
+use crate::pattern::{AccessPattern, PatternTarget};
+
+/// Evaluation parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalConfig {
+    /// Bank under attack.
+    pub bank: Bank,
+    /// Victim regular-refresh windows to run per position (the paper
+    /// runs each pattern "for a fixed interval of time").
+    pub windows: u32,
+    /// Pattern written into the victim rows.
+    pub victim_pattern: DataPattern,
+    /// Explicit victim positions; when empty, `sample_count` positions
+    /// are spread evenly across the bank.
+    pub positions: Vec<PhysRow>,
+    /// Number of sampled positions when `positions` is empty.
+    pub sample_count: u32,
+    /// Rows per bank for module builds from a spec (`None` = the full
+    /// Table-1 geometry).
+    pub scaled_rows: Option<u32>,
+    /// Seed for module builds from a spec.
+    pub seed: u64,
+}
+
+impl EvalConfig {
+    /// A fast, statistically sampled configuration.
+    pub fn quick(sample_count: u32) -> Self {
+        EvalConfig {
+            bank: Bank::new(0),
+            windows: 2,
+            victim_pattern: DataPattern::RowStripe,
+            positions: Vec::new(),
+            sample_count,
+            scaled_rows: Some(2_048),
+            seed: 77,
+        }
+    }
+
+    /// A full-fidelity configuration at the module's Table-1 geometry.
+    pub fn full(sample_count: u32) -> Self {
+        EvalConfig { scaled_rows: None, ..EvalConfig::quick(sample_count) }
+    }
+}
+
+/// Outcome for one victim position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PositionResult {
+    /// The victim's physical position.
+    pub victim: PhysRow,
+    /// Total bit flips observed in the victim row.
+    pub flips: u32,
+    /// `(flips in dataword, number of such 8-byte datawords)` for the
+    /// victim row — the Fig. 10 ingredient.
+    pub dataword_hist: Vec<(u32, u32)>,
+}
+
+/// A pattern's results over a set of victim positions in one bank.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BankSweep {
+    /// Pattern identifier.
+    pub pattern: String,
+    /// Average hammers per aggressor per `REF` (Fig. 8 x-axis).
+    pub hammers_per_aggressor_per_ref: f64,
+    /// Per-position outcomes.
+    pub results: Vec<PositionResult>,
+}
+
+impl BankSweep {
+    /// Percentage of tested rows with at least one bit flip (Fig. 9).
+    pub fn vulnerable_pct(&self) -> f64 {
+        if self.results.is_empty() {
+            return 0.0;
+        }
+        let vulnerable = self.results.iter().filter(|r| r.flips > 0).count();
+        100.0 * vulnerable as f64 / self.results.len() as f64
+    }
+
+    /// The highest flip count observed in any row.
+    pub fn max_flips_per_row(&self) -> u32 {
+        self.results.iter().map(|r| r.flips).max().unwrap_or(0)
+    }
+
+    /// Table 1's "Max. Bit Flips per Row per Hammer": the per-row flip
+    /// maximum normalized by the per-aggressor hammer rate.
+    pub fn max_flips_per_row_per_hammer(&self) -> f64 {
+        if self.hammers_per_aggressor_per_ref == 0.0 {
+            return 0.0;
+        }
+        self.max_flips_per_row() as f64 / self.hammers_per_aggressor_per_ref
+    }
+
+    /// Five-number summary of flips per row — the Fig. 8 box plot
+    /// ingredients `(min, q1, median, q3, max)`.
+    pub fn flip_quartiles(&self) -> (u32, u32, u32, u32, u32) {
+        let mut flips: Vec<u32> = self.results.iter().map(|r| r.flips).collect();
+        if flips.is_empty() {
+            return (0, 0, 0, 0, 0);
+        }
+        flips.sort_unstable();
+        let q = |f: f64| flips[((flips.len() - 1) as f64 * f) as usize];
+        (flips[0], q(0.25), q(0.5), q(0.75), flips[flips.len() - 1])
+    }
+
+    /// Aggregated Fig. 10 histogram: how many 8-byte datawords (across
+    /// all tested rows) contain exactly `k` bit flips, for `k ≥ 1`.
+    pub fn dataword_histogram(&self) -> Vec<(u32, u64)> {
+        let mut hist: std::collections::BTreeMap<u32, u64> = std::collections::BTreeMap::new();
+        for r in &self.results {
+            for &(k, n) in &r.dataword_hist {
+                *hist.entry(k).or_default() += n as u64;
+            }
+        }
+        hist.into_iter().collect()
+    }
+
+    /// The largest number of flips observed in a single 8-byte dataword
+    /// (the paper finds up to 7 — §7.4).
+    pub fn max_flips_per_dataword(&self) -> u32 {
+        self.dataword_histogram().last().map(|&(k, _)| k).unwrap_or(0)
+    }
+}
+
+/// Runs `pattern` against one victim position for
+/// `windows × period_refs` `REF` intervals and reads the victim back.
+pub fn evaluate_position(
+    mc: &mut MemoryController,
+    pattern: &dyn AccessPattern,
+    config: &EvalConfig,
+    victim_phys: PhysRow,
+) -> PositionResult {
+    let target = PatternTarget::for_victim(mc, config.bank, victim_phys);
+    if target.aggressors.is_empty() {
+        return PositionResult { victim: victim_phys, flips: 0, dataword_hist: Vec::new() };
+    }
+    // Initialize the victim with the evaluation pattern and the
+    // pattern's declared aggressor rows with the coupling-maximizing
+    // row stripe.
+    mc.write_row(config.bank, target.victim, config.victim_pattern.clone())
+        .expect("victim address is in range");
+    for aggressor in pattern.init_rows(&target) {
+        mc.write_row(config.bank, aggressor, DataPattern::RowStripe)
+            .expect("aggressor address is in range");
+    }
+
+    let timings = mc.module().timings();
+    let period = mc.module().config().refresh.period_refs as u64;
+    let intervals = period * config.windows as u64;
+    for _ in 0..intervals {
+        let started = mc.now();
+        let interval = mc.module().ref_count();
+        pattern
+            .run_interval(mc, &target, interval)
+            .expect("patterns stay within protocol rules");
+        mc.module_mut().refresh();
+        let elapsed = mc.now() - started;
+        mc.module_mut().advance(timings.t_refi.saturating_sub(elapsed));
+    }
+
+    let readout =
+        mc.read_row(config.bank, target.victim).expect("victim address is in range");
+    let mut hist: std::collections::BTreeMap<u32, u32> = std::collections::BTreeMap::new();
+    for (_, k) in readout.flips_per_dataword() {
+        *hist.entry(k).or_default() += 1;
+    }
+    PositionResult {
+        victim: victim_phys,
+        flips: readout.flip_count() as u32,
+        dataword_hist: hist.into_iter().collect(),
+    }
+}
+
+/// Runs a sweep over a module built from its Table-1 spec.
+pub fn sweep_bank(spec: &ModuleSpec, pattern: &dyn AccessPattern, config: &EvalConfig) -> BankSweep {
+    let rows = config.scaled_rows.unwrap_or_else(|| spec.rows_per_bank());
+    let module = spec.build_scaled(rows, config.seed);
+    sweep_bank_module(module, pattern, config)
+}
+
+/// Runs a sweep over an already-built module.
+pub fn sweep_bank_module(
+    module: Module,
+    pattern: &dyn AccessPattern,
+    config: &EvalConfig,
+) -> BankSweep {
+    let mut mc = MemoryController::new(module);
+    let positions: Vec<PhysRow> = if config.positions.is_empty() {
+        sample_positions(mc.module().geometry().rows_per_bank, config.sample_count)
+    } else {
+        config.positions.clone()
+    };
+    let results = positions
+        .into_iter()
+        .map(|victim| evaluate_position(&mut mc, pattern, config, victim))
+        .collect();
+    BankSweep {
+        pattern: pattern.name().to_string(),
+        hammers_per_aggressor_per_ref: pattern.hammers_per_aggressor_per_ref(),
+        results,
+    }
+}
+
+/// Evenly spread `count` victim positions across the bank, away from the
+/// edge rows (and alternating even/odd so paired organizations are
+/// covered on both sides).
+fn sample_positions(rows_per_bank: u32, count: u32) -> Vec<PhysRow> {
+    let count = count.clamp(1, (rows_per_bank / 8).max(1));
+    // An even stride keeps the `i % 2` term controlling the parity.
+    let stride = ((rows_per_bank.saturating_sub(16) / count) & !1).max(2);
+    let margin = if rows_per_bank > 16 { 8 } else { 1 };
+    (0..count)
+        .map(|i| PhysRow::new((margin + i * stride + (i % 2)).min(rows_per_bank - 1)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::DoubleSided;
+    use dram_sim::ModuleConfig;
+
+    #[test]
+    fn sample_positions_spread_and_alternate_parity() {
+        let p = sample_positions(2048, 16);
+        assert_eq!(p.len(), 16);
+        assert!(p[0].index() >= 8);
+        assert!(p.last().unwrap().index() < 2048);
+        assert!(p.iter().any(|r| r.index() % 2 == 0));
+        assert!(p.iter().any(|r| r.index() % 2 == 1));
+        for w in p.windows(2) {
+            assert!(w[1].index() > w[0].index() + 8);
+        }
+    }
+
+    #[test]
+    fn evaluate_position_counts_flips_and_datawords() {
+        let module = Module::new(ModuleConfig::small_test(), 9);
+        let mut mc = MemoryController::new(module);
+        let config = EvalConfig::quick(1);
+        let result =
+            evaluate_position(&mut mc, &DoubleSided::max_rate(), &config, PhysRow::new(400));
+        assert!(result.flips > 0, "unprotected module must flip");
+        let hist_total: u32 = result.dataword_hist.iter().map(|&(_, n)| n).sum();
+        assert!(hist_total > 0);
+        let flips_from_hist: u32 =
+            result.dataword_hist.iter().map(|&(k, n)| k * n).sum();
+        assert_eq!(flips_from_hist, result.flips, "histogram accounts for every flip");
+    }
+
+    #[test]
+    fn sweep_metrics_are_consistent() {
+        let module = Module::new(ModuleConfig::small_test(), 9);
+        let config = EvalConfig { sample_count: 6, ..EvalConfig::quick(6) };
+        let sweep = sweep_bank_module(module, &DoubleSided::max_rate(), &config);
+        assert_eq!(sweep.results.len(), 6);
+        assert!(sweep.vulnerable_pct() > 99.0);
+        let (min, q1, median, q3, max) = sweep.flip_quartiles();
+        assert!(min <= q1 && q1 <= median && median <= q3 && q3 <= max);
+        assert_eq!(sweep.max_flips_per_row(), max);
+        assert!(sweep.max_flips_per_dataword() >= 1);
+        assert!(sweep.max_flips_per_row_per_hammer() > 0.0);
+    }
+
+    #[test]
+    fn empty_sweep_is_well_behaved() {
+        let sweep = BankSweep {
+            pattern: "none".into(),
+            hammers_per_aggressor_per_ref: 0.0,
+            results: Vec::new(),
+        };
+        assert_eq!(sweep.vulnerable_pct(), 0.0);
+        assert_eq!(sweep.flip_quartiles(), (0, 0, 0, 0, 0));
+        assert_eq!(sweep.max_flips_per_row_per_hammer(), 0.0);
+        assert!(sweep.dataword_histogram().is_empty());
+    }
+}

@@ -1,0 +1,165 @@
+//! The access-pattern abstraction shared by baselines and custom
+//! patterns.
+//!
+//! A pattern describes what the attacker does *between two `REF`
+//! commands* (one `tREFI` interval); the evaluation harness issues the
+//! `REF`s at the vendor-mandated rate and paces simulated time, exactly
+//! like the paper's SoftMC programs, which "execute each custom access
+//! pattern for a fixed interval of time, while also issuing REF commands
+//! once every 7.8 µs to comply with the vendor-specified default refresh
+//! rate" (§7.2).
+
+use dram_sim::{Bank, DramError, PhysRow, RowAddr, Topology};
+use softmc::MemoryController;
+
+/// Everything a pattern needs to know about one victim position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternTarget {
+    /// Bank under attack.
+    pub bank: Bank,
+    /// The victim row whose bit flips the evaluation counts.
+    pub victim: RowAddr,
+    /// Aggressor rows (logical addresses physically adjacent to the
+    /// victim; a single row on paired-topology parts).
+    pub aggressors: Vec<RowAddr>,
+    /// Same-bank dummy rows, far from the victim.
+    pub dummies: Vec<RowAddr>,
+    /// Dummy rows in other banks (for sampler-stealing patterns).
+    pub other_bank_dummies: Vec<(Bank, RowAddr)>,
+}
+
+impl PatternTarget {
+    /// Builds the target for a victim position: aggressors are the
+    /// victim's physical neighbours under the module's mapping and
+    /// topology, same-bank dummies keep a safety distance of 100 rows,
+    /// and one dummy row is picked in each of up to four other banks.
+    pub fn for_victim(mc: &MemoryController, bank: Bank, victim_phys: PhysRow) -> Self {
+        let module = mc.module();
+        let geometry = module.geometry();
+        let victim = module.logical_of(victim_phys);
+        let aggressors = match module.config().topology {
+            Topology::Paired => {
+                let pair = victim_phys.index() ^ 1;
+                if pair < geometry.rows_per_bank {
+                    vec![module.logical_of(PhysRow::new(pair))]
+                } else {
+                    vec![]
+                }
+            }
+            Topology::Linear => {
+                let v = victim_phys.index();
+                [v.checked_sub(1), (v + 1 < geometry.rows_per_bank).then_some(v + 1)]
+                    .into_iter()
+                    .flatten()
+                    .map(|p| module.logical_of(PhysRow::new(p)))
+                    .collect()
+            }
+        };
+        let mut avoid = vec![victim];
+        avoid.extend(aggressors.iter().copied());
+        let dummies = mc.pick_dummy_rows(&avoid, 100, 16);
+        let other_bank_dummies = (0..geometry.banks)
+            .filter(|&b| b != bank.index())
+            .take(4)
+            .map(|b| (Bank::new(b), RowAddr::new(geometry.rows_per_bank / 2)))
+            .collect();
+        PatternTarget { bank, victim, aggressors, dummies, other_bank_dummies }
+    }
+}
+
+/// One RowHammer access pattern.
+///
+/// Implementations must stay within one bank's activation budget per
+/// interval (~149 activations for standard DDR4 timings) on the target
+/// bank; concurrent other-bank activity goes through
+/// [`dram_sim::Module::hammer_overlapped`].
+pub trait AccessPattern {
+    /// A short identifier used in reports.
+    fn name(&self) -> &str;
+
+    /// Average hammers issued to a single aggressor row between two
+    /// `REF`s — the x-axis of the paper's Fig. 8.
+    fn hammers_per_aggressor_per_ref(&self) -> f64;
+
+    /// Rows the evaluation harness should initialize with the
+    /// coupling-maximizing pattern before the run — by default the
+    /// victim-adjacent aggressors. Patterns whose true aggressors sit
+    /// elsewhere (Half-Double's distance-2 rows) override this: even a
+    /// single stray activation of a non-aggressor row plants it in
+    /// persistent trackers (Observation A7), whose pointer walk would
+    /// then refresh the victim as that row's neighbour.
+    fn init_rows(&self, target: &PatternTarget) -> Vec<RowAddr> {
+        target.aggressors.clone()
+    }
+
+    /// Executes one `tREFI` interval's accesses. `interval` counts
+    /// intervals since power-on (equal to the device's `REF` count), so
+    /// patterns can synchronize with the TRR-capable-`REF` cadence the
+    /// way the paper's attacker does via SMASH-style timing channels.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device protocol errors.
+    fn run_interval(
+        &self,
+        mc: &mut MemoryController,
+        target: &PatternTarget,
+        interval: u64,
+    ) -> Result<(), DramError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_sim::{Module, ModuleConfig};
+
+    #[test]
+    fn target_builder_linear() {
+        let mc = MemoryController::new(Module::new(ModuleConfig::small_test(), 5));
+        let t = PatternTarget::for_victim(&mc, Bank::new(0), PhysRow::new(500));
+        assert_eq!(t.victim, RowAddr::new(500));
+        assert_eq!(t.aggressors, vec![RowAddr::new(499), RowAddr::new(501)]);
+        assert_eq!(t.dummies.len(), 16);
+        for d in &t.dummies {
+            assert!(d.index().abs_diff(500) >= 100);
+        }
+        assert_eq!(t.other_bank_dummies.len(), 1); // tiny module: 2 banks
+        assert_eq!(t.other_bank_dummies[0].0, Bank::new(1));
+    }
+
+    #[test]
+    fn target_builder_paired() {
+        let mut config = ModuleConfig::small_test();
+        config.topology = Topology::Paired;
+        let mc = MemoryController::new(Module::new(config, 5));
+        let t = PatternTarget::for_victim(&mc, Bank::new(0), PhysRow::new(500));
+        assert_eq!(t.aggressors, vec![RowAddr::new(501)]);
+        let t = PatternTarget::for_victim(&mc, Bank::new(0), PhysRow::new(501));
+        assert_eq!(t.aggressors, vec![RowAddr::new(500)]);
+    }
+
+    #[test]
+    fn target_builder_edge_rows() {
+        let mc = MemoryController::new(Module::new(ModuleConfig::small_test(), 5));
+        let t = PatternTarget::for_victim(&mc, Bank::new(0), PhysRow::new(0));
+        assert_eq!(t.aggressors, vec![RowAddr::new(1)]);
+        let last = mc.module().geometry().rows_per_bank - 1;
+        let t = PatternTarget::for_victim(&mc, Bank::new(0), PhysRow::new(last));
+        assert_eq!(t.aggressors, vec![RowAddr::new(last - 1)]);
+    }
+
+    #[test]
+    fn target_respects_scrambled_mapping() {
+        let mut config = ModuleConfig::small_test();
+        config.mapping = dram_sim::RowMapping::block_mirror(3);
+        let mc = MemoryController::new(Module::new(config, 5));
+        // Physical 100's neighbours are physical 99 and 101; their
+        // logical images under the mirror.
+        let t = PatternTarget::for_victim(&mc, Bank::new(0), PhysRow::new(100));
+        let m = mc.module();
+        assert_eq!(
+            t.aggressors,
+            vec![m.logical_of(PhysRow::new(99)), m.logical_of(PhysRow::new(101))]
+        );
+    }
+}

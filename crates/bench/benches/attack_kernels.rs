@@ -1,0 +1,30 @@
+//! Attack-evaluation kernel benchmarks: the per-victim-position cost of
+//! each vendor's custom pattern, which bounds full-bank sweep times.
+
+use attacks::custom;
+use attacks::eval::{evaluate_position, EvalConfig};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dram_sim::PhysRow;
+use softmc::MemoryController;
+use utrr_modules::by_id;
+
+fn bench_positions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("attack/one_position_one_window");
+    g.sample_size(10);
+    for id in ["A5", "B0", "C9"] {
+        let spec = by_id(id).unwrap();
+        let pattern = custom::pattern_for(&spec);
+        let config = EvalConfig { windows: 1, ..EvalConfig::quick(1) };
+        g.bench_function(id, |b| {
+            b.iter_batched_ref(
+                || MemoryController::new(spec.build_scaled(2_048, 7)),
+                |mc| evaluate_position(mc, pattern.as_ref(), &config, PhysRow::new(512)),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_positions);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Device-level micro-benchmarks: the cost of the simulator primitives
+//! that dominate full-bank sweeps.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dram_sim::{Bank, DataPattern, Module, ModuleConfig, RowAddr};
+
+fn module() -> Module {
+    Module::new(ModuleConfig::small_test(), 7)
+}
+
+fn bench_hammer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("device/hammer");
+    g.bench_function("batched_5k", |b| {
+        b.iter_batched_ref(
+            module,
+            |m| m.hammer(Bank::new(0), RowAddr::new(500), 5_000).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("single_x100", |b| {
+        b.iter_batched_ref(
+            module,
+            |m| {
+                for _ in 0..100 {
+                    m.hammer(Bank::new(0), RowAddr::new(500), 1).unwrap();
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("interleaved_pair_5k", |b| {
+        b.iter_batched_ref(
+            module,
+            |m| m.hammer_pair(Bank::new(0), RowAddr::new(499), RowAddr::new(501), 5_000).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_row_io(c: &mut Criterion) {
+    let mut g = c.benchmark_group("device/row_io");
+    g.bench_function("write_read_roundtrip", |b| {
+        b.iter_batched_ref(
+            module,
+            |m| {
+                m.write_row(Bank::new(0), RowAddr::new(3), DataPattern::Ones).unwrap();
+                m.read_row(Bank::new(0), RowAddr::new(3)).unwrap();
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_refresh(c: &mut Criterion) {
+    let mut g = c.benchmark_group("device/refresh");
+    g.bench_function("ref_x1024_touched_bank", |b| {
+        b.iter_batched_ref(
+            || {
+                let mut m = module();
+                for r in 0..1024 {
+                    m.write_row(Bank::new(0), RowAddr::new(r), DataPattern::Ones).unwrap();
+                }
+                m
+            },
+            |m| {
+                for _ in 0..1024 {
+                    m.refresh();
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_hammer, bench_row_io, bench_refresh);
+criterion_main!(benches);

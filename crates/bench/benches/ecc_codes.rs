@@ -1,0 +1,51 @@
+//! ECC codec benchmarks: encode/decode throughput of the §7.4 codes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ecc::rs::ReedSolomon;
+use ecc::secded::Secded7264;
+use ecc::Chipkill;
+
+fn bench_secded(c: &mut Criterion) {
+    let code = Secded7264::new();
+    let data = 0xDEAD_BEEF_0123_4567u64;
+    let clean = code.encode(data);
+    let mut flipped = clean;
+    flipped.data ^= 1 << 17;
+    let mut g = c.benchmark_group("ecc/secded");
+    g.bench_function("encode", |b| b.iter(|| code.encode(std::hint::black_box(data))));
+    g.bench_function("decode_clean", |b| b.iter(|| code.decode(std::hint::black_box(clean))));
+    g.bench_function("decode_correct1", |b| {
+        b.iter(|| code.decode(std::hint::black_box(flipped)))
+    });
+    g.finish();
+}
+
+fn bench_rs(c: &mut Criterion) {
+    let code = ReedSolomon::gf256(8, 7);
+    let data: Vec<u8> = (0..8).collect();
+    let clean = code.encode(&data);
+    let mut errored = clean.clone();
+    errored[1] ^= 0x5A;
+    errored[6] ^= 0x11;
+    errored[12] ^= 0x77;
+    let mut g = c.benchmark_group("ecc/rs_8_plus_7");
+    g.bench_function("encode", |b| b.iter(|| code.encode(std::hint::black_box(&data))));
+    g.bench_function("decode_clean", |b| b.iter(|| code.decode(std::hint::black_box(&clean))));
+    g.bench_function("decode_correct3", |b| {
+        b.iter(|| code.decode(std::hint::black_box(&errored)))
+    });
+    g.finish();
+}
+
+fn bench_chipkill(c: &mut Criterion) {
+    let code = Chipkill::new();
+    let data = 0xA5A5_5A5A_0FF0_1234u64;
+    let mut g = c.benchmark_group("ecc/chipkill");
+    g.bench_function("roundtrip_one_symbol_error", |b| {
+        b.iter(|| code.roundtrip_with_flips(std::hint::black_box(data), &[0, 1, 2]))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_secded, bench_rs, bench_chipkill);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! TRR-engine hook micro-benchmarks: per-activation and per-refresh
+//! costs of each ground-truth engine, including the batched-vs-looped
+//! activation paths whose equivalence the correctness tests prove and
+//! whose *speed gap* justifies the batching design.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dram_sim::{Bank, MitigationEngine, Nanos, PhysRow};
+use trr::{CounterTrr, SamplerTrr, WindowTrr};
+
+const B0: Bank = Bank::new(0);
+const T0: Nanos = Nanos::ZERO;
+
+fn bench_on_activations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engines/on_activations_4k");
+    g.bench_function("counter_batched", |b| {
+        b.iter_batched_ref(
+            || CounterTrr::a_trr1(16),
+            |e| e.on_activations(B0, PhysRow::new(9), 4_096, T0),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("counter_looped", |b| {
+        b.iter_batched_ref(
+            || CounterTrr::a_trr1(16),
+            |e| {
+                for _ in 0..4_096 {
+                    e.on_activations(B0, PhysRow::new(9), 1, T0);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("sampler_batched", |b| {
+        b.iter_batched_ref(
+            || SamplerTrr::b_trr1(16, 3),
+            |e| e.on_activations(B0, PhysRow::new(9), 4_096, T0),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("window_batched", |b| {
+        b.iter_batched_ref(
+            || WindowTrr::c_trr1(16, 3),
+            |e| e.on_activations(B0, PhysRow::new(9), 4_096, T0),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_on_refresh(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engines/on_refresh");
+    g.bench_function("counter_full_table", |b| {
+        b.iter_batched_ref(
+            || {
+                let mut e = CounterTrr::a_trr1(16);
+                for bank in 0..16 {
+                    for i in 0..16 {
+                        e.on_activations(Bank::new(bank), PhysRow::new(i * 8), 100, T0);
+                    }
+                }
+                e
+            },
+            |e| e.on_refresh(T0),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("sampler", |b| {
+        b.iter_batched_ref(
+            || {
+                let mut e = SamplerTrr::b_trr1(16, 3);
+                e.on_activations(B0, PhysRow::new(9), 2_000, T0);
+                e
+            },
+            |e| e.on_refresh(T0),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_on_activations, bench_on_refresh);
+criterion_main!(benches);

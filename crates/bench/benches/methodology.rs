@@ -1,0 +1,88 @@
+//! U-TRR methodology benchmarks: Row Scout profiling, refresh-schedule
+//! learning, and a full TRR-Analyzer experiment iteration — the unit
+//! costs behind the Table-1 reproduction.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dram_sim::{Bank, Module, ModuleConfig};
+use softmc::{HammerSpec, MemoryController};
+use utrr_core::schedule::learn_refresh_schedule;
+use utrr_core::{Experiment, RowGroupLayout, RowScout, ScoutConfig, TrrAnalyzer};
+
+fn controller() -> MemoryController {
+    MemoryController::new(Module::new(ModuleConfig::small_test(), 7))
+}
+
+fn bench_rowscout(c: &mut Criterion) {
+    let mut g = c.benchmark_group("methodology/rowscout");
+    g.sample_size(10);
+    g.bench_function("scan_one_pair_group_512_rows", |b| {
+        b.iter_batched_ref(
+            controller,
+            |mc| {
+                let mut cfg = ScoutConfig::new(
+                    Bank::new(0),
+                    512,
+                    RowGroupLayout::single_aggressor_pair(),
+                    1,
+                );
+                cfg.consistency_checks = 25;
+                RowScout::new(cfg).scan(mc).unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_schedule_learning(c: &mut Criterion) {
+    let mut g = c.benchmark_group("methodology/schedule");
+    g.sample_size(10);
+    g.bench_function("learn_refresh_schedule", |b| {
+        b.iter_batched_ref(
+            || {
+                let mut mc = controller();
+                let mut cfg = ScoutConfig::new(
+                    Bank::new(0),
+                    512,
+                    RowGroupLayout::single_aggressor_pair(),
+                    1,
+                );
+                cfg.consistency_checks = 25;
+                let group = RowScout::new(cfg).scan(&mut mc).unwrap().remove(0);
+                (mc, group)
+            },
+            |(mc, group)| learn_refresh_schedule(mc, group, Bank::new(0)).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_experiment(c: &mut Criterion) {
+    let mut g = c.benchmark_group("methodology/experiment");
+    g.bench_function("single_iteration_5k_hammers", |b| {
+        b.iter_batched_ref(
+            || {
+                let mut mc = controller();
+                let mut cfg = ScoutConfig::new(
+                    Bank::new(0),
+                    512,
+                    RowGroupLayout::single_aggressor_pair(),
+                    1,
+                );
+                cfg.consistency_checks = 25;
+                let group = RowScout::new(cfg).scan(&mut mc).unwrap().remove(0);
+                let exp = Experiment::on_group(Bank::new(0), &group)
+                    .with_hammer(HammerSpec::single_sided(group.aggressors[0], 5_000))
+                    .with_refs(1);
+                (mc, exp)
+            },
+            |(mc, exp)| TrrAnalyzer::new().run(mc, exp).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_rowscout, bench_schedule_learning, bench_experiment);
+criterion_main!(benches);

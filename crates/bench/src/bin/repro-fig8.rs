@@ -1,0 +1,61 @@
+//! Regenerates Fig. 8 of the paper: the distribution of bit flips per
+//! DRAM row as the per-aggressor hammer count sweeps, for the three
+//! representative modules A5, B8, and C7.
+//!
+//! The paper's box-and-whisker panels become ASCII box lines: `-` spans
+//! min..max, `=` spans the inter-quartile range, `#` marks the median.
+//!
+//! Usage: repro-fig8 [--rows N] [--samples N] [--windows N]
+
+use attacks::eval::EvalConfig;
+use utrr_bench::{arg_value, boxplot_line, fig8_sweep};
+use utrr_modules::fig8_modules;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let rows: u32 = arg_value(&args, "--rows").and_then(|v| v.parse().ok()).unwrap_or(2_048);
+    let samples: u32 =
+        arg_value(&args, "--samples").and_then(|v| v.parse().ok()).unwrap_or(32);
+    let windows: u32 = arg_value(&args, "--windows").and_then(|v| v.parse().ok()).unwrap_or(2);
+    let config = EvalConfig {
+        sample_count: samples,
+        windows,
+        scaled_rows: Some(rows),
+        ..EvalConfig::quick(samples)
+    };
+
+    println!("# Fig. 8 reproduction — flips per row vs hammers per aggressor per REF");
+    println!("# ({samples} victim rows per point, {rows} rows/bank, {windows} refresh windows)");
+
+    for spec in fig8_modules() {
+        // Sweep the same region the paper shows: a handful of points
+        // around each vendor's optimum.
+        let hammer_values: Vec<f64> = match spec.vendor {
+            utrr_modules::Vendor::A => vec![12.0, 18.0, 24.0, 36.0, 50.0, 65.0, 70.0, 74.0],
+            _ => vec![20.0, 35.0, 50.0, 65.0, 73.0],
+        };
+        println!();
+        println!("## Module {} ({})", spec.id, spec.trr_version);
+        let points = fig8_sweep(&spec, &hammer_values, &config);
+        let max_flips = points.iter().map(|p| p.quartiles.4).max().unwrap_or(1).max(1);
+        println!("  hammers/aggr/REF   min   q1  med   q3  max   0 {:>38} {max_flips}", "flips →");
+        for p in &points {
+            let (min, q1, med, q3, max) = p.quartiles;
+            println!(
+                "  {:>16.1} {:>5} {:>4} {:>4} {:>4} {:>4}   |{}|",
+                p.hammers,
+                min,
+                q1,
+                med,
+                q3,
+                max,
+                boxplot_line(p.quartiles, max_flips, 40)
+            );
+        }
+        let best = points.iter().max_by_key(|p| p.quartiles.4).expect("points exist");
+        println!(
+            "  → most flips at ≈{:.0} hammers/aggressor/REF (paper: A at 26, B at 68, C at 65)",
+            best.hammers
+        );
+    }
+}

@@ -1,0 +1,124 @@
+//! Regenerates Table 1 of the paper: per-module TRR reverse engineering
+//! (U-TRR's findings vs the planted ground truth) plus the attack
+//! columns (measured HC_first, % vulnerable rows, max flips per row per
+//! hammer).
+//!
+//! Usage:
+//!   repro-table1 [--rows N] [--samples N] [--windows N] [--modules A5,B0,...]
+//!                [--per-module-re] [--attack-only]
+//!
+//! By default the reverse-engineering suite runs once per *TRR version*
+//! (modules sharing a version share their engine, so the findings are
+//! identical); `--per-module-re` runs it for all 45 modules.
+
+use std::collections::HashMap;
+
+use attacks::eval::EvalConfig;
+use utrr_bench::{arg_flag, arg_value, attack_columns, measure_hc_first, reverse_engineer_module};
+use utrr_core::reverse::DetectionKind;
+use utrr_modules::{catalog, ModuleSpec};
+
+fn detection_label(d: &DetectionKind) -> String {
+    match d {
+        DetectionKind::Counter { capacity, .. } => format!("Counter({capacity})"),
+        DetectionKind::Sampler { shared_across_banks: true } => "Sampler(shared)".into(),
+        DetectionKind::Sampler { shared_across_banks: false } => "Sampler(per-bank)".into(),
+        DetectionKind::Window { max_window } => format!("Window(≤{max_window})"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let rows: u32 = arg_value(&args, "--rows").and_then(|v| v.parse().ok()).unwrap_or(2_048);
+    // Row Scout needs space for 18 pair groups plus the neighbour probe.
+    let rows = if rows < 1_024 {
+        eprintln!("note: --rows {rows} is too small for the reverse-engineering suite; using 1024");
+        1_024
+    } else {
+        rows
+    };
+    let samples: u32 =
+        arg_value(&args, "--samples").and_then(|v| v.parse().ok()).unwrap_or(48);
+    let windows: u32 = arg_value(&args, "--windows").and_then(|v| v.parse().ok()).unwrap_or(2);
+    let filter = arg_value(&args, "--modules");
+    let per_module_re = arg_flag(&args, "--per-module-re");
+    let attack_only = arg_flag(&args, "--attack-only");
+
+    let modules: Vec<ModuleSpec> = catalog()
+        .into_iter()
+        .filter(|m| match &filter {
+            Some(list) => list.split(',').any(|id| id == m.id),
+            None => true,
+        })
+        .collect();
+
+    println!("# Table 1 reproduction — {} modules, {rows} rows/bank (scaled), {samples} victim samples, {windows} refresh windows", modules.len());
+    println!();
+    println!("## Reverse-engineering columns (U-TRR findings vs planted ground truth)");
+    println!();
+    println!(
+        "| Module | Version | Ratio (GT) | Neighbors (GT) | Detection (GT) | Per-Bank (GT) | Refresh period (GT) | Match |"
+    );
+    println!("|---|---|---|---|---|---|---|---|");
+
+    let mut re_cache: HashMap<&'static str, utrr_bench::ReOutcome> = HashMap::new();
+    if !attack_only {
+        for spec in &modules {
+            let outcome = if per_module_re {
+                reverse_engineer_module(spec, rows, 7)
+            } else {
+                re_cache
+                    .entry(spec.trr_version)
+                    .or_insert_with(|| reverse_engineer_module(spec, rows, 7))
+                    .clone()
+            };
+            println!(
+                "| {} | {} | {} ({}) | {} ({}) | {} ({}) | {} ({}) | {} ({}) | {} |",
+                spec.id,
+                spec.trr_version,
+                outcome.profile.trr_ref_ratio,
+                spec.trr_to_ref_ratio,
+                outcome.profile.neighbors_refreshed,
+                spec.neighbors_refreshed,
+                detection_label(&outcome.profile.detection),
+                spec.detection,
+                outcome.profile.per_bank,
+                spec.per_bank_trr,
+                outcome.refresh_period,
+                spec.refresh().period_refs,
+                if outcome.matches.all() { "✓" } else { "partial" },
+            );
+        }
+        println!();
+    }
+
+    println!("## Attack columns (custom §7.1 pattern per vendor)");
+    println!();
+    println!(
+        "| Module | HC_first measured (Table 1) | % vulnerable (paper) | max flips/row/hammer (paper) | max flips/word |"
+    );
+    println!("|---|---|---|---|---|");
+    let config = EvalConfig {
+        sample_count: samples,
+        windows,
+        scaled_rows: Some(rows),
+        ..EvalConfig::quick(samples)
+    };
+    for spec in &modules {
+        let hc = measure_hc_first(spec, rows.min(2_048), 48, 11);
+        let sweep = attack_columns(spec, &config);
+        println!(
+            "| {} | {} ({}) | {:.1}% ({:.1}–{:.1}%) | {:.2} ({:.2}–{:.2}) | {} |",
+            spec.id,
+            hc,
+            spec.hc_first,
+            sweep.vulnerable_pct(),
+            spec.paper_vulnerable_pct.0,
+            spec.paper_vulnerable_pct.1,
+            sweep.max_flips_per_row_per_hammer(),
+            spec.paper_max_flips_per_hammer.0,
+            spec.paper_max_flips_per_hammer.1,
+            sweep.max_flips_per_dataword(),
+        );
+    }
+}

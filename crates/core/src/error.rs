@@ -1,0 +1,96 @@
+//! Error type for U-TRR experiments.
+
+use std::error::Error;
+use std::fmt;
+
+use dram_sim::{DramError, Nanos};
+
+/// Errors raised by Row Scout and TRR Analyzer runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UtrrError {
+    /// A DDR protocol/addressing error from the device.
+    Dram(DramError),
+    /// Row Scout exhausted its retention-time budget before finding the
+    /// requested number of row groups.
+    NotEnoughRowGroups {
+        /// Groups found and validated before giving up.
+        found: usize,
+        /// Groups the profiling configuration asked for.
+        needed: usize,
+        /// The retention-time ceiling that was reached.
+        max_retention: Nanos,
+    },
+    /// The refresh-schedule learner could not observe a periodic regular
+    /// refresh of the probe row.
+    ScheduleNotFound,
+    /// An experiment precondition failed: the requested hammer count
+    /// already causes RowHammer bit flips on the profiled rows, so
+    /// retention-side-channel inference would be corrupted.
+    HammerCountUnsafe {
+        /// The offending per-aggressor hammer count.
+        count: u64,
+    },
+    /// Physical-adjacency verification failed: hammering the supposed
+    /// aggressor did not flip the profiled rows (§5.3 second method).
+    AdjacencyBroken,
+}
+
+impl fmt::Display for UtrrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UtrrError::Dram(e) => write!(f, "device error: {e}"),
+            UtrrError::NotEnoughRowGroups { found, needed, max_retention } => write!(
+                f,
+                "row scout found {found} of {needed} row groups before reaching \
+                 the {max_retention} retention ceiling"
+            ),
+            UtrrError::ScheduleNotFound => {
+                write!(f, "no periodic regular refresh observed for the probe row")
+            }
+            UtrrError::HammerCountUnsafe { count } => write!(
+                f,
+                "{count} hammers already flip the profiled rows via RowHammer; \
+                 pick a smaller count"
+            ),
+            UtrrError::AdjacencyBroken => write!(
+                f,
+                "aggressor row does not disturb the profiled rows; the rows are \
+                 not physically adjacent (remapped?)"
+            ),
+        }
+    }
+}
+
+impl Error for UtrrError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            UtrrError::Dram(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DramError> for UtrrError {
+    fn from(e: DramError) -> Self {
+        UtrrError::Dram(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_sim::Bank;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = UtrrError::NotEnoughRowGroups {
+            found: 1,
+            needed: 3,
+            max_retention: Nanos::from_ms(4_000),
+        };
+        assert!(e.to_string().contains("1 of 3"));
+        let e: UtrrError = DramError::BankClosed { bank: Bank::new(0) }.into();
+        assert!(e.to_string().contains("device error"));
+        assert!(e.source().is_some());
+    }
+}

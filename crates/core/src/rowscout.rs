@@ -1,0 +1,407 @@
+//! Row Scout (RS): the retention-time profiler (§4 of the paper).
+//!
+//! RS finds *row groups* — sets of rows in a prescribed physical layout
+//! whose retention times fall in the same bucket — and validates that
+//! each row's retention time is consistent (filtering out rows afflicted
+//! by Variable Retention Time, which would corrupt the TRR Analyzer's
+//! refresh inference).
+//!
+//! The implementation follows Fig. 6 of the paper:
+//!
+//! 1. scan the configured row range for rows that fail within `T` but
+//!    hold comfortably at `T/2` (the half-margin is what lets TRR-A split
+//!    the decay window around the hammer phase);
+//! 2. assemble candidate groups matching the requested
+//!    [`RowGroupLayout`];
+//! 3. if too few candidates, increase `T` and start over;
+//! 4. validate every row of every candidate group `consistency_checks`
+//!    times (the paper uses 1000) — VRT rows flunk;
+//! 5. return the validated groups.
+
+use dram_sim::{Bank, DataPattern, Nanos, PhysRow, RowAddr};
+use softmc::MemoryController;
+
+use crate::error::UtrrError;
+use crate::layout::RowGroupLayout;
+
+/// Profiling configuration (the "Profiling Config" box of Fig. 3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoutConfig {
+    /// Bank to profile.
+    pub bank: Bank,
+    /// Physical row range `[start, end)` to search.
+    pub row_start: u32,
+    /// End of the physical row range (exclusive).
+    pub row_end: u32,
+    /// Requested group layout.
+    pub layout: RowGroupLayout,
+    /// Number of validated groups to find.
+    pub group_count: usize,
+    /// Initial retention interval `T` (paper: e.g. 100 ms).
+    pub initial_retention: Nanos,
+    /// `T` increment per outer iteration (paper: e.g. 50 ms).
+    pub retention_step: Nanos,
+    /// Give up once `T` exceeds this.
+    pub max_retention: Nanos,
+    /// Validation repetitions per row (paper: 1000).
+    pub consistency_checks: u32,
+    /// Data pattern used for profiling; TRR-A must reuse it.
+    pub pattern: DataPattern,
+}
+
+impl ScoutConfig {
+    /// A reasonable default configuration over the first `row_end`
+    /// physical rows of a bank.
+    pub fn new(bank: Bank, row_end: u32, layout: RowGroupLayout, group_count: usize) -> Self {
+        ScoutConfig {
+            bank,
+            row_start: 0,
+            row_end,
+            layout,
+            group_count,
+            initial_retention: Nanos::from_ms(100),
+            retention_step: Nanos::from_ms(50),
+            max_retention: Nanos::from_ms(6_000),
+            consistency_checks: 100,
+            pattern: DataPattern::Ones,
+        }
+    }
+}
+
+/// One retention-profiled row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProfiledRow {
+    /// Logical address (what the controller issues).
+    pub row: RowAddr,
+    /// Physical position (what adjacency is computed in).
+    pub phys: PhysRow,
+}
+
+/// A validated row group: profiled rows plus the aggressor positions of
+/// the layout, all sharing the retention bucket `retention`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfiledRowGroup {
+    /// The retention-profiled rows, in layout order.
+    pub rows: Vec<ProfiledRow>,
+    /// Logical addresses of the layout's aggressor positions.
+    pub aggressors: Vec<RowAddr>,
+    /// The retention bucket: every row holds at `retention / 2` and
+    /// fails at `retention` when unrefreshed.
+    pub retention: Nanos,
+    /// Physical position of the group base (layout offset 0).
+    pub base: PhysRow,
+    /// The pattern the rows were profiled with.
+    pub pattern: DataPattern,
+}
+
+impl ProfiledRowGroup {
+    /// Logical addresses of the profiled rows.
+    pub fn victim_rows(&self) -> Vec<RowAddr> {
+        self.rows.iter().map(|r| r.row).collect()
+    }
+}
+
+/// Row Scout: see the [module docs](self).
+///
+/// # Example
+///
+/// ```no_run
+/// use dram_sim::{Bank, Module, ModuleConfig};
+/// use softmc::MemoryController;
+/// use utrr_core::{RowScout, ScoutConfig, RowGroupLayout};
+///
+/// # fn main() -> Result<(), utrr_core::UtrrError> {
+/// let mut mc = MemoryController::new(Module::new(ModuleConfig::small_test(), 1));
+/// let config = ScoutConfig::new(
+///     Bank::new(0), 1024, RowGroupLayout::single_aggressor_pair(), 2);
+/// let groups = RowScout::new(config).scan(&mut mc)?;
+/// assert_eq!(groups.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RowScout {
+    config: ScoutConfig,
+}
+
+impl RowScout {
+    /// Creates a scout for the given profiling configuration.
+    pub fn new(config: ScoutConfig) -> Self {
+        RowScout { config }
+    }
+
+    /// The profiling configuration.
+    pub fn config(&self) -> &ScoutConfig {
+        &self.config
+    }
+
+    /// Runs the Fig. 6 loop and returns `group_count` validated groups.
+    ///
+    /// # Errors
+    ///
+    /// [`UtrrError::NotEnoughRowGroups`] if the retention ceiling is
+    /// reached first; device errors are propagated.
+    pub fn scan(&self, mc: &mut MemoryController) -> Result<Vec<ProfiledRowGroup>, UtrrError> {
+        let cfg = &self.config;
+        let mut retention = cfg.initial_retention;
+        let mut best_found = 0usize;
+        while retention <= cfg.max_retention {
+            let groups = self.scan_at(mc, retention)?;
+            best_found = best_found.max(groups.len());
+            if groups.len() >= cfg.group_count {
+                return Ok(groups.into_iter().take(cfg.group_count).collect());
+            }
+            retention += cfg.retention_step;
+        }
+        Err(UtrrError::NotEnoughRowGroups {
+            found: best_found,
+            needed: cfg.group_count,
+            max_retention: cfg.max_retention,
+        })
+    }
+
+    /// One outer iteration at a fixed `T`: bucket scan, candidate
+    /// assembly, validation.
+    fn scan_at(
+        &self,
+        mc: &mut MemoryController,
+        retention: Nanos,
+    ) -> Result<Vec<ProfiledRowGroup>, UtrrError> {
+        let cfg = &self.config;
+        // Rows failing within T…
+        let fail_at_t = self.failing_rows(mc, retention)?;
+        // …minus rows that fail too early (before they could survive the
+        // first half-window of a TRR-A experiment; footnote 4).
+        let fail_early = self.failing_rows(mc, retention * 55 / 100)?;
+        let bucket: Vec<bool> = fail_at_t
+            .iter()
+            .zip(&fail_early)
+            .map(|(&late, &early)| late && !early)
+            .collect();
+
+        let mut groups = Vec::new();
+        let mut base = cfg.row_start;
+        let span = cfg.layout.span();
+        while base + span <= cfg.row_end && groups.len() < cfg.group_count {
+            let in_bucket = cfg
+                .layout
+                .profiled()
+                .iter()
+                .all(|&off| bucket[(base + off - cfg.row_start) as usize]);
+            if in_bucket {
+                let group = self.assemble_group(mc, base, retention);
+                if self.validate_group(mc, &group)? {
+                    // Skip past this group (plus a guard row) so groups
+                    // never overlap.
+                    base += span + 1;
+                    groups.push(group);
+                    continue;
+                }
+            }
+            base += 1;
+        }
+        Ok(groups)
+    }
+
+    /// Writes the pattern to the whole range, decays it for `wait`, and
+    /// returns per-row failure flags.
+    fn failing_rows(
+        &self,
+        mc: &mut MemoryController,
+        wait: Nanos,
+    ) -> Result<Vec<bool>, UtrrError> {
+        let cfg = &self.config;
+        for phys in cfg.row_start..cfg.row_end {
+            let row = mc.module().logical_of(PhysRow::new(phys));
+            mc.write_row(cfg.bank, row, cfg.pattern.clone())?;
+        }
+        mc.wait_no_refresh(wait);
+        let mut failed = Vec::with_capacity((cfg.row_end - cfg.row_start) as usize);
+        for phys in cfg.row_start..cfg.row_end {
+            let row = mc.module().logical_of(PhysRow::new(phys));
+            failed.push(!mc.read_row(cfg.bank, row)?.is_clean());
+        }
+        Ok(failed)
+    }
+
+    fn assemble_group(
+        &self,
+        mc: &MemoryController,
+        base: u32,
+        retention: Nanos,
+    ) -> ProfiledRowGroup {
+        let cfg = &self.config;
+        let rows = cfg
+            .layout
+            .profiled()
+            .iter()
+            .map(|&off| {
+                let phys = PhysRow::new(base + off);
+                ProfiledRow { row: mc.module().logical_of(phys), phys }
+            })
+            .collect();
+        let aggressors = cfg
+            .layout
+            .aggressors()
+            .iter()
+            .map(|&off| mc.module().logical_of(PhysRow::new(base + off)))
+            .collect();
+        ProfiledRowGroup {
+            rows,
+            aggressors,
+            retention,
+            base: PhysRow::new(base),
+            pattern: cfg.pattern.clone(),
+        }
+    }
+
+    /// Paper: "RS validates the retention time of a row one thousand
+    /// times to ensure its consistency over time." Each check verifies
+    /// both sides of the bucket: the row must fail after `T` and hold
+    /// after `0.55 T`.
+    fn validate_group(
+        &self,
+        mc: &mut MemoryController,
+        group: &ProfiledRowGroup,
+    ) -> Result<bool, UtrrError> {
+        let cfg = &self.config;
+        for _ in 0..cfg.consistency_checks {
+            for profiled in &group.rows {
+                mc.write_row(cfg.bank, profiled.row, cfg.pattern.clone())?;
+            }
+            mc.wait_no_refresh(group.retention);
+            for profiled in &group.rows {
+                if mc.read_row(cfg.bank, profiled.row)?.is_clean() {
+                    return Ok(false); // held longer than profiled: VRT
+                }
+            }
+            for profiled in &group.rows {
+                mc.write_row(cfg.bank, profiled.row, cfg.pattern.clone())?;
+            }
+            mc.wait_no_refresh(group.retention * 55 / 100);
+            for profiled in &group.rows {
+                if !mc.read_row(cfg.bank, profiled.row)?.is_clean() {
+                    return Ok(false); // failed too soon: VRT or margin
+                }
+            }
+        }
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_sim::{Module, ModuleConfig, RowMapping};
+
+    fn controller(seed: u64) -> MemoryController {
+        MemoryController::new(Module::new(ModuleConfig::small_test(), seed))
+    }
+
+    fn scout(layout: &str, count: usize) -> RowScout {
+        let layout: RowGroupLayout = layout.parse().unwrap();
+        RowScout::new(ScoutConfig::new(Bank::new(0), 1024, layout, count))
+    }
+
+    #[test]
+    fn finds_single_aggressor_pairs() {
+        let mut mc = controller(11);
+        let groups = scout("RAR", 3).scan(&mut mc).unwrap();
+        assert_eq!(groups.len(), 3);
+        for g in &groups {
+            assert_eq!(g.rows.len(), 2);
+            assert_eq!(g.aggressors.len(), 1);
+            // Layout geometry: profiled rows two apart, aggressor between.
+            assert_eq!(g.rows[1].phys.index() - g.rows[0].phys.index(), 2);
+        }
+    }
+
+    #[test]
+    fn groups_do_not_overlap() {
+        let mut mc = controller(11);
+        let groups = scout("RAR", 4).scan(&mut mc).unwrap();
+        for w in groups.windows(2) {
+            assert!(w[1].base.index() >= w[0].base.index() + 4);
+        }
+    }
+
+    #[test]
+    fn profiled_rows_fail_at_t_and_hold_at_half_t() {
+        let mut mc = controller(13);
+        let groups = scout("RAR", 2).scan(&mut mc).unwrap();
+        for g in &groups {
+            for p in &g.rows {
+                mc.write_row(g.pattern_bank(), p.row, g.pattern.clone()).unwrap();
+                mc.wait_no_refresh(g.retention);
+                assert!(!mc.read_row(g.pattern_bank(), p.row).unwrap().is_clean());
+                mc.write_row(g.pattern_bank(), p.row, g.pattern.clone()).unwrap();
+                mc.wait_no_refresh(g.retention / 2);
+                assert!(mc.read_row(g.pattern_bank(), p.row).unwrap().is_clean());
+            }
+        }
+    }
+
+    #[test]
+    fn validated_rows_have_stable_binding_retention() {
+        // What validation must guarantee is not "no VRT cell anywhere"
+        // but that the row's observable behaviour is state-independent:
+        // a *stable* cell fails inside the bucket, and no cell (in any
+        // VRT state) can fail before the early-check margin.
+        let mut mc = controller(17);
+        let groups = scout("RAR", 3).scan(&mut mc).unwrap();
+        for g in &groups {
+            let t = g.retention;
+            for p in &g.rows {
+                let view = mc.module_mut().inspect_row(Bank::new(0), p.row);
+                let stable_binds = view
+                    .weak_cells
+                    .iter()
+                    .any(|&(_, r, vrt)| !vrt && r < t);
+                assert!(stable_binds, "a non-VRT cell must guarantee failure at T");
+                let early_margin = t * 55 / 100;
+                let none_early = view.weak_cells.iter().all(|&(_, r, _)| r > early_margin);
+                assert!(none_early, "no cell may fail before the early margin");
+            }
+        }
+    }
+
+    #[test]
+    fn respects_scrambled_mappings() {
+        let mut config = ModuleConfig::small_test();
+        config.mapping = RowMapping::block_mirror(3);
+        let mut mc = MemoryController::new(Module::new(config, 19));
+        let groups = scout("RAR", 2).scan(&mut mc).unwrap();
+        for g in &groups {
+            // Physical geometry must hold even though logical addresses
+            // are scrambled.
+            assert_eq!(g.rows[1].phys.index() - g.rows[0].phys.index(), 2);
+            let phys_of = |r| mc.module().phys_of(r).index();
+            assert_eq!(phys_of(g.rows[0].row), g.rows[0].phys.index());
+            assert_eq!(phys_of(g.aggressors[0]), g.base.index() + 1);
+        }
+    }
+
+    #[test]
+    fn errors_when_range_cannot_satisfy_request() {
+        let mut mc = controller(11);
+        let layout: RowGroupLayout = "RARRRRAR".parse().unwrap();
+        let mut cfg = ScoutConfig::new(Bank::new(0), 64, layout, 50);
+        cfg.max_retention = Nanos::from_ms(400);
+        let err = RowScout::new(cfg).scan(&mut mc).unwrap_err();
+        assert!(matches!(err, UtrrError::NotEnoughRowGroups { needed: 50, .. }));
+    }
+
+    #[test]
+    fn larger_probe_layouts_are_findable() {
+        let mut mc = controller(23);
+        let groups = scout("RRARR", 1).scan(&mut mc).unwrap();
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].rows.len(), 4);
+    }
+
+    impl ProfiledRowGroup {
+        fn pattern_bank(&self) -> Bank {
+            Bank::new(0)
+        }
+    }
+}

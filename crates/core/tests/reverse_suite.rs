@@ -1,0 +1,318 @@
+//! End-to-end reverse-engineering tests: U-TRR, seeing only the DDR
+//! command interface, must re-discover the parameters of every planted
+//! ground-truth TRR engine (the §6 experiments).
+
+use dram_sim::{Bank, MitigationEngine, Module, ModuleConfig, NeighborSpan};
+use softmc::MemoryController;
+use trr::{CounterTrr, CounterTrrConfig, SamplerTrr, WindowTrr};
+use utrr_core::reverse::{self, ReverseOptions};
+use utrr_core::schedule::learn_group_schedules;
+use utrr_core::{ProfiledRowGroup, RowGroupLayout, RowScout, ScoutConfig, TrrAnalyzer};
+
+const BANK: Bank = Bank::new(0);
+
+fn controller(engine: Box<dyn MitigationEngine>, seed: u64) -> MemoryController {
+    MemoryController::new(Module::with_engine(ModuleConfig::small_test(), engine, seed))
+}
+
+fn scout(mc: &mut MemoryController, layout: &str, count: usize) -> Vec<ProfiledRowGroup> {
+    let layout: RowGroupLayout = layout.parse().unwrap();
+    RowScout::new(ScoutConfig::new(BANK, 1024, layout, count)).scan(mc).unwrap()
+}
+
+fn analyzer_for(mc: &mut MemoryController, groups: &[ProfiledRowGroup]) -> TrrAnalyzer {
+    analyzer_for_bank(mc, BANK, groups)
+}
+
+fn analyzer_for_bank(
+    mc: &mut MemoryController,
+    bank: Bank,
+    groups: &[ProfiledRowGroup],
+) -> TrrAnalyzer {
+    let mut analyzer = TrrAnalyzer::new();
+    for g in groups {
+        learn_group_schedules(mc, bank, g, &mut analyzer).unwrap();
+    }
+    analyzer
+}
+
+fn opts() -> ReverseOptions {
+    ReverseOptions { trigger_hammers: 400, ratio_iterations: 72, long_iterations: 200 }
+}
+
+#[test]
+fn ratio_of_counter_trr_is_nine() {
+    // Observation A1. Use several groups so both TREF_a and TREF_b land
+    // on experiment aggressors.
+    let mut mc = controller(Box::new(CounterTrr::a_trr1(2)), 101);
+    let groups = scout(&mut mc, "RAR", 8);
+    let analyzer = analyzer_for(&mut mc, &groups);
+    let ratio = reverse::discover_trr_ref_ratio(&mut mc, &analyzer, BANK, &groups, &opts()).unwrap();
+    assert_eq!(ratio, Some(9));
+}
+
+#[test]
+fn ratio_of_sampler_trr_is_four() {
+    // Observation B1 (B_TRR1).
+    let mut mc = controller(Box::new(SamplerTrr::b_trr1(2, 7)), 103);
+    let groups = scout(&mut mc, "RAR", 4);
+    let mut o = opts();
+    o.trigger_hammers = 2_000; // ensure sampling (Obs B3)
+    let analyzer = analyzer_for(&mut mc, &groups);
+    let ratio = reverse::discover_trr_ref_ratio(&mut mc, &analyzer, BANK, &groups, &o).unwrap();
+    assert_eq!(ratio, Some(4));
+}
+
+#[test]
+fn ratio_of_window_trr_is_nine() {
+    // Observation C1 (C_TRR2).
+    let mut mc = controller(Box::new(WindowTrr::c_trr2(2, 7)), 107);
+    let groups = scout(&mut mc, "RAR", 4);
+    let analyzer = analyzer_for(&mut mc, &groups);
+    let ratio = reverse::discover_trr_ref_ratio(&mut mc, &analyzer, BANK, &groups, &opts()).unwrap();
+    assert_eq!(ratio, Some(9));
+}
+
+#[test]
+fn neighbors_refreshed_matches_span() {
+    // Observations A2 and B2: A_TRR1 refreshes ±1 and ±2 (4 rows),
+    // A_TRR2 and B_TRR1 refresh ±1 (2 rows).
+    for (engine, expected) in [
+        (Box::new(CounterTrr::a_trr1(2)) as Box<dyn MitigationEngine>, 4u32),
+        (Box::new(CounterTrr::a_trr2(2)), 2),
+    ] {
+        let mut mc = controller(engine, 109);
+        let probe = scout(&mut mc, "RRARR", 1).remove(0);
+        let analyzer = analyzer_for(&mut mc, std::slice::from_ref(&probe));
+        let n = reverse::discover_neighbors_refreshed(&mut mc, &analyzer, BANK, &probe, &opts()).unwrap();
+        assert_eq!(n, expected);
+    }
+    let mut mc = controller(Box::new(SamplerTrr::b_trr1(2, 9)), 109);
+    let probe = scout(&mut mc, "RRARR", 1).remove(0);
+    let mut o = opts();
+    o.trigger_hammers = 2_000;
+    let analyzer = analyzer_for(&mut mc, std::slice::from_ref(&probe));
+    let n = reverse::discover_neighbors_refreshed(&mut mc, &analyzer, BANK, &probe, &o).unwrap();
+    assert_eq!(n, 2);
+}
+
+#[test]
+fn counter_capacity_is_discovered() {
+    // Observation A4, scaled to a 6-entry table so the sweep stays fast;
+    // the full 16-entry sweep runs in the Table-1 repro binary.
+    let config = CounterTrrConfig { table_size: 6, ..CounterTrrConfig::a_trr1() };
+    let engine = CounterTrr::new(config, "A_TRR1_small", 2);
+    let mut mc = controller(Box::new(engine), 113);
+    let groups = scout(&mut mc, "RAR", 8);
+    let analyzer = analyzer_for(&mut mc, &groups);
+    let capacity =
+        reverse::discover_counter_capacity(&mut mc, &analyzer, BANK, &groups, 9, &opts()).unwrap();
+    assert_eq!(capacity, 6);
+}
+
+#[test]
+fn low_count_first_row_is_evicted() {
+    // Observation A5: with 5 groups against a 4-entry table, the
+    // first-hammered, lowest-count aggressor is never detected.
+    let config = CounterTrrConfig { table_size: 4, ..CounterTrrConfig::a_trr1() };
+    let engine = CounterTrr::new(config, "A_TRR1_small", 2);
+    let mut mc = controller(Box::new(engine), 127);
+    let groups = scout(&mut mc, "RAR", 5);
+    let analyzer = analyzer_for(&mut mc, &groups);
+    let evicted =
+        reverse::discover_eviction_of_low_count_row(&mut mc, &analyzer, BANK, &groups, &opts())
+            .unwrap();
+    assert!(evicted);
+}
+
+#[test]
+fn counter_reset_lets_both_rows_be_detected() {
+    // Observation A6: with unequal hammer counts, per-detection counter
+    // resets let the lower-count aggressor win periodically.
+    let mut mc = controller(Box::new(CounterTrr::a_trr1(2)), 131);
+    let groups = scout(&mut mc, "RAR", 2);
+    let pair = [groups[0].clone(), groups[1].clone()];
+    let analyzer = analyzer_for(&mut mc, &groups);
+    let (low, high) =
+        reverse::discover_counter_reset(&mut mc, &analyzer, BANK, &pair, &opts()).unwrap();
+    assert!(high > 0, "the higher-count aggressor is detected");
+    assert!(low > 0, "counter resets let the lower-count aggressor be detected too");
+}
+
+#[test]
+fn counter_entries_persist() {
+    // Observation A7: after hammering once, TREF_b keeps re-detecting
+    // the stale entry indefinitely.
+    let mut mc = controller(Box::new(CounterTrr::a_trr1(2)), 137);
+    let group = scout(&mut mc, "RAR", 1).remove(0);
+    let mut o = opts();
+    o.long_iterations = 400; // TREF_b revisits an entry every ≤ 16×18 REFs
+    let analyzer = analyzer_for(&mut mc, std::slice::from_ref(&group));
+    let tail_hits =
+        reverse::discover_table_persistence(&mut mc, &analyzer, BANK, &group, &o).unwrap();
+    assert!(tail_hits > 0, "stale entries must keep being detected");
+}
+
+#[test]
+fn sampler_detects_last_hammered_row() {
+    // Observation B3: the most recently hammered row wins even with
+    // fewer hammers.
+    let mut mc = controller(Box::new(SamplerTrr::b_trr1(2, 11)), 139);
+    let groups = scout(&mut mc, "RAR", 2);
+    let pair = [groups[0].clone(), groups[1].clone()];
+    let mut o = opts();
+    o.trigger_hammers = 5_000;
+    let analyzer = analyzer_for(&mut mc, &groups);
+    let bias =
+        reverse::discover_last_hammered_bias(&mut mc, &analyzer, BANK, &pair, 3_000, 4, &o)
+            .unwrap();
+    assert!(bias > 0.9, "sampler must detect the last hammered row, bias {bias}");
+}
+
+#[test]
+fn counter_trr_detects_highest_count_not_last() {
+    // The same discriminator applied to a counter engine: the
+    // higher-count (first) aggressor dominates.
+    let mut mc = controller(Box::new(CounterTrr::a_trr1(2)), 149);
+    let groups = scout(&mut mc, "RAR", 2);
+    let pair = [groups[0].clone(), groups[1].clone()];
+    let mut o = opts();
+    o.trigger_hammers = 5_000;
+    let analyzer = analyzer_for(&mut mc, &groups);
+    let bias =
+        reverse::discover_last_hammered_bias(&mut mc, &analyzer, BANK, &pair, 3_000, 9, &o)
+            .unwrap();
+    assert!(bias < 0.5, "counter TRR must not favour the last row, bias {bias}");
+}
+
+#[test]
+fn shared_sampler_is_detected_across_banks() {
+    // Observation B4: B_TRR1's single register is shared chip-wide.
+    let mut mc = controller(Box::new(SamplerTrr::b_trr1(2, 13)), 151);
+    let groups0 = scout(&mut mc, "RAR", 1);
+    let mut scout_cfg =
+        ScoutConfig::new(Bank::new(1), 1024, RowGroupLayout::single_aggressor_pair(), 1);
+    scout_cfg.consistency_checks = 50;
+    let groups1 = RowScout::new(scout_cfg).scan(&mut mc).unwrap();
+    let pair = [groups0[0].clone(), groups1[0].clone()];
+    let mut o = opts();
+    o.trigger_hammers = 3_000;
+    let mut analyzer = analyzer_for(&mut mc, &groups0);
+    learn_group_schedules(&mut mc, Bank::new(1), &groups1[0], &mut analyzer).unwrap();
+    let (first, second) = reverse::discover_cross_bank_sharing(
+        &mut mc,
+        &analyzer,
+        [BANK, Bank::new(1)],
+        &pair,
+        &o,
+    )
+    .unwrap();
+    assert_eq!(first, 0, "the bank-0 sample must be overwritten by bank 1's");
+    assert!(second > 0, "bank 1's victims are refreshed");
+}
+
+#[test]
+fn per_bank_sampler_serves_both_banks() {
+    // Observation B4, B_TRR3 exception: per-bank registers.
+    let mut mc = controller(Box::new(SamplerTrr::b_trr3(2, 13)), 157);
+    let groups0 = scout(&mut mc, "RAR", 1);
+    let mut scout_cfg =
+        ScoutConfig::new(Bank::new(1), 1024, RowGroupLayout::single_aggressor_pair(), 1);
+    scout_cfg.consistency_checks = 50;
+    let groups1 = RowScout::new(scout_cfg).scan(&mut mc).unwrap();
+    let pair = [groups0[0].clone(), groups1[0].clone()];
+    let mut o = opts();
+    o.trigger_hammers = 3_000;
+    let mut analyzer = analyzer_for(&mut mc, &groups0);
+    learn_group_schedules(&mut mc, Bank::new(1), &groups1[0], &mut analyzer).unwrap();
+    let (first, second) = reverse::discover_cross_bank_sharing(
+        &mut mc,
+        &analyzer,
+        [BANK, Bank::new(1)],
+        &pair,
+        &o,
+    )
+    .unwrap();
+    assert!(first > 0, "bank 0 keeps its own sample");
+    assert!(second > 0, "bank 1 keeps its own sample");
+}
+
+#[test]
+fn act_window_is_bracketed() {
+    // Observation C2, adapted: under the strongly front-loaded capture
+    // bias the §7.2 attack arithmetic implies, positional probing
+    // recovers the *effective capture horizon* (the paper's own "at
+    // least 252 dummy hammers" quantity), not the architectural 2K cap
+    // — see DESIGN.md. The horizon must land between a few dozen and a
+    // few thousand activations.
+    let mut mc = controller(Box::new(WindowTrr::c_trr2(2, 17)), 163);
+    let group = scout(&mut mc, "RAR", 1).remove(0);
+    let analyzer = analyzer_for(&mut mc, std::slice::from_ref(&group));
+    let window = reverse::discover_act_window(
+        &mut mc,
+        &analyzer,
+        BANK,
+        &group,
+        &[64, 256, 1_024, 4_096],
+        &opts(),
+    )
+    .unwrap();
+    let horizon = window.expect("a horizon must be found");
+    assert!(
+        (256..=1_024).contains(&horizon),
+        "effective capture horizon out of range: {horizon}"
+    );
+}
+
+#[test]
+fn classify_identifies_the_sampler() {
+    let mut mc = controller(Box::new(SamplerTrr::b_trr1(2, 19)), 167);
+    let groups = scout(&mut mc, "RAR", 4);
+    let probe = scout(&mut mc, "RRARR", 1).remove(0);
+    let mut o = opts();
+    o.trigger_hammers = 2_500;
+    let profile = reverse::classify(&mut mc, BANK, &groups, &probe, None, &o).unwrap();
+    assert_eq!(profile.trr_ref_ratio, 4);
+    assert_eq!(profile.neighbors_refreshed, 2);
+    assert!(matches!(profile.detection, reverse::DetectionKind::Sampler { .. }));
+}
+
+#[test]
+fn classify_identifies_the_window_tracker() {
+    let mut mc = controller(Box::new(WindowTrr::c_trr2(2, 23)), 173);
+    let groups = scout(&mut mc, "RAR", 4);
+    let probe = scout(&mut mc, "RRARR", 1).remove(0);
+    let profile = reverse::classify(&mut mc, BANK, &groups, &probe, None, &opts()).unwrap();
+    assert_eq!(profile.trr_ref_ratio, 9);
+    assert_eq!(profile.neighbors_refreshed, 2);
+    assert!(
+        matches!(profile.detection, reverse::DetectionKind::Window { max_window } if max_window <= 8_192)
+    );
+}
+
+#[test]
+fn classify_identifies_the_counter_table() {
+    let config = CounterTrrConfig { table_size: 5, ..CounterTrrConfig::a_trr1() };
+    let engine = CounterTrr::new(config, "A_TRR1_small", 2);
+    let mut mc = controller(Box::new(engine), 179);
+    let groups = scout(&mut mc, "RAR", 7);
+    let probe = scout(&mut mc, "RRARR", 1).remove(0);
+    let profile = reverse::classify(&mut mc, BANK, &groups, &probe, None, &opts()).unwrap();
+    assert_eq!(profile.trr_ref_ratio, 9);
+    assert_eq!(profile.neighbors_refreshed, 4);
+    match profile.detection {
+        reverse::DetectionKind::Counter { capacity, counters_reset, persistent_entries } => {
+            assert_eq!(capacity, 5);
+            assert!(counters_reset);
+            assert!(persistent_entries);
+        }
+        other => panic!("expected a counter table, got {other:?}"),
+    }
+    assert!(profile.per_bank);
+}
+
+/// The span enum is part of the ground truth we compare against.
+#[test]
+fn span_sanity() {
+    assert_eq!(NeighborSpan::Two.victims(), 4);
+}

@@ -1,0 +1,243 @@
+//! Row data representation and bit-flip reporting.
+//!
+//! Storing full 8 KiB images for every row of a 64K-row bank would cost
+//! ~512 MiB per bank, so a row's contents are represented as a *base
+//! pattern* plus a sparse set of flipped bit positions. This is lossless
+//! for everything the experiments need: retention and RowHammer failures
+//! are exactly "bits that differ from what was written".
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::addr::RowAddr;
+
+/// The data written into a DRAM row.
+///
+/// Patterns are functions of `(row, bit index)` so that row-stripe
+/// patterns (used by RowHammer studies to maximize aggressor/victim
+/// coupling) can be expressed without materializing data.
+///
+/// # Example
+///
+/// ```
+/// use dram_sim::{DataPattern, RowAddr};
+///
+/// let p = DataPattern::Checkerboard;
+/// assert_eq!(p.bit_at(RowAddr::new(0), 0), false);
+/// assert_eq!(p.bit_at(RowAddr::new(0), 1), true);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum DataPattern {
+    /// Every bit zero.
+    Zeros,
+    /// Every bit one. The paper's Row Scout default (§3.1: "e.g., all ones").
+    Ones,
+    /// Alternating `0101…` within each byte, same for every row.
+    Checkerboard,
+    /// All ones on even rows, all zeros on odd rows — maximizes
+    /// aggressor-to-victim coupling for double-sided hammering.
+    RowStripe,
+    /// A caller-supplied byte sequence, repeated cyclically across the row.
+    Custom(Arc<[u8]>),
+}
+
+impl DataPattern {
+    /// The value of `bit` (0-based, LSB-first within each byte) for a row
+    /// at logical address `row`.
+    pub fn bit_at(&self, row: RowAddr, bit: u32) -> bool {
+        match self {
+            DataPattern::Zeros => false,
+            DataPattern::Ones => true,
+            DataPattern::Checkerboard => bit % 2 == 1,
+            DataPattern::RowStripe => row.index().is_multiple_of(2),
+            DataPattern::Custom(bytes) => {
+                let byte = bytes[(bit / 8) as usize % bytes.len()];
+                byte >> (bit % 8) & 1 == 1
+            }
+        }
+    }
+
+    /// A short identifier used in experiment logs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DataPattern::Zeros => "zeros",
+            DataPattern::Ones => "ones",
+            DataPattern::Checkerboard => "checkerboard",
+            DataPattern::RowStripe => "rowstripe",
+            DataPattern::Custom(_) => "custom",
+        }
+    }
+}
+
+impl fmt::Display for DataPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Contents of one row: the pattern that was written plus every bit that
+/// has since flipped away from it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct RowData {
+    pub pattern: DataPattern,
+    /// Written-with address; patterns may be row-parity dependent.
+    pub written_as: RowAddr,
+    /// Bit positions currently differing from the pattern.
+    pub flips: BTreeSet<u32>,
+}
+
+impl RowData {
+    pub fn new(pattern: DataPattern, written_as: RowAddr) -> Self {
+        RowData { pattern, written_as, flips: BTreeSet::new() }
+    }
+
+    /// Current value of a bit.
+    pub fn bit(&self, bit: u32) -> bool {
+        self.pattern.bit_at(self.written_as, bit) ^ self.flips.contains(&bit)
+    }
+
+    /// Records that `bit` now reads back inverted relative to the pattern.
+    /// Flipping an already-flipped bit restores it (used by tests only; the
+    /// physics never un-flips).
+    pub fn set_flipped(&mut self, bit: u32) {
+        self.flips.insert(bit);
+    }
+}
+
+/// The result of reading an entire row back: which bits differ from the
+/// pattern the row was last written with.
+///
+/// # Example
+///
+/// ```
+/// use dram_sim::{Module, ModuleConfig, DataPattern, Bank, RowAddr, Nanos};
+/// # fn main() -> Result<(), dram_sim::DramError> {
+/// let mut m = Module::new(ModuleConfig::small_test(), 1);
+/// let (bank, row) = (Bank::new(0), RowAddr::new(5));
+/// m.activate(bank, row)?;
+/// m.write_open_row(bank, DataPattern::Ones)?;
+/// let readout = m.read_open_row(bank)?;
+/// assert!(readout.is_clean()); // no time has passed
+/// # Ok(()) }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowReadout {
+    row: RowAddr,
+    pattern: DataPattern,
+    flipped: Vec<u32>,
+    row_bits: u32,
+}
+
+impl RowReadout {
+    pub(crate) fn new(
+        row: RowAddr,
+        pattern: DataPattern,
+        flipped: Vec<u32>,
+        row_bits: u32,
+    ) -> Self {
+        RowReadout { row, pattern, flipped, row_bits }
+    }
+
+    /// The logical row address that was read.
+    pub fn row(&self) -> RowAddr {
+        self.row
+    }
+
+    /// The pattern the row was last written with.
+    pub fn pattern(&self) -> &DataPattern {
+        &self.pattern
+    }
+
+    /// Bit positions (LSB-first within the row) that read back inverted,
+    /// in ascending order.
+    pub fn flipped_bits(&self) -> &[u32] {
+        &self.flipped
+    }
+
+    /// Number of flipped bits.
+    pub fn flip_count(&self) -> usize {
+        self.flipped.len()
+    }
+
+    /// `true` when the row read back exactly as written.
+    pub fn is_clean(&self) -> bool {
+        self.flipped.is_empty()
+    }
+
+    /// Histogram of flips per aligned 8-byte dataword, the granularity the
+    /// paper uses for its ECC analysis (§7.4, Fig. 10). Returns
+    /// `(chunk index, flips in chunk)` for every chunk with at least one
+    /// flip.
+    pub fn flips_per_dataword(&self) -> Vec<(u32, u32)> {
+        let mut out: Vec<(u32, u32)> = Vec::new();
+        for &bit in &self.flipped {
+            let chunk = bit / 64;
+            match out.last_mut() {
+                Some((c, n)) if *c == chunk => *n += 1,
+                _ => out.push((chunk, 1)),
+            }
+        }
+        out
+    }
+
+    /// Number of 8-byte datawords in the row.
+    pub fn dataword_count(&self) -> u32 {
+        self.row_bits / 64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_bits() {
+        let even = RowAddr::new(2);
+        let odd = RowAddr::new(3);
+        assert!(!DataPattern::Zeros.bit_at(even, 17));
+        assert!(DataPattern::Ones.bit_at(even, 17));
+        assert!(DataPattern::Checkerboard.bit_at(even, 1));
+        assert!(!DataPattern::Checkerboard.bit_at(even, 2));
+        assert!(DataPattern::RowStripe.bit_at(even, 9));
+        assert!(!DataPattern::RowStripe.bit_at(odd, 9));
+    }
+
+    #[test]
+    fn custom_pattern_cycles() {
+        let p = DataPattern::Custom(Arc::from(&[0x01u8, 0x80][..]));
+        let r = RowAddr::new(0);
+        assert!(p.bit_at(r, 0)); // byte 0 bit 0
+        assert!(!p.bit_at(r, 1));
+        assert!(p.bit_at(r, 15)); // byte 1 bit 7
+        assert!(p.bit_at(r, 16)); // cycles back to byte 0
+    }
+
+    #[test]
+    fn row_data_flip_tracking() {
+        let mut d = RowData::new(DataPattern::Ones, RowAddr::new(0));
+        assert!(d.bit(5));
+        d.set_flipped(5);
+        assert!(!d.bit(5));
+    }
+
+    #[test]
+    fn dataword_histogram_groups_by_chunk() {
+        let r = RowReadout::new(
+            RowAddr::new(0),
+            DataPattern::Ones,
+            vec![0, 3, 63, 64, 200],
+            1024,
+        );
+        assert_eq!(r.flips_per_dataword(), vec![(0, 3), (1, 1), (3, 1)]);
+        assert_eq!(r.dataword_count(), 16);
+        assert_eq!(r.flip_count(), 5);
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn pattern_labels_are_stable() {
+        assert_eq!(DataPattern::Ones.to_string(), "ones");
+        assert_eq!(DataPattern::RowStripe.label(), "rowstripe");
+    }
+}

@@ -1,0 +1,74 @@
+//! Error type for DRAM command execution.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::addr::{Bank, PhysRow, RowAddr};
+use crate::time::Nanos;
+
+/// Errors raised when a DDR command sequence violates the device's
+/// protocol or addressing constraints.
+///
+/// These model controller programming mistakes (the FPGA would hang or
+/// corrupt data on real hardware); the physics layer itself is infallible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DramError {
+    /// A bank index outside the module geometry.
+    BankOutOfRange { bank: Bank, banks: u8 },
+    /// A logical row address outside the bank.
+    RowOutOfRange { row: RowAddr, rows: u32 },
+    /// A physical row position outside the bank.
+    PhysRowOutOfRange { row: PhysRow, rows: u32 },
+    /// `ACT` issued to a bank that already has an open row.
+    BankAlreadyOpen { bank: Bank, open: RowAddr },
+    /// A column command (`RD`/`WR`) issued to a bank with no open row.
+    BankClosed { bank: Bank },
+    /// Commands must carry monotonically non-decreasing timestamps.
+    TimeRegression { now: Nanos, requested: Nanos },
+}
+
+impl fmt::Display for DramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DramError::BankOutOfRange { bank, banks } => {
+                write!(f, "bank {bank} out of range (module has {banks} banks)")
+            }
+            DramError::RowOutOfRange { row, rows } => {
+                write!(f, "row {row} out of range (bank has {rows} rows)")
+            }
+            DramError::PhysRowOutOfRange { row, rows } => {
+                write!(f, "physical row {row} out of range (bank has {rows} rows)")
+            }
+            DramError::BankAlreadyOpen { bank, open } => {
+                write!(f, "activate to bank {bank} which already has row {open} open")
+            }
+            DramError::BankClosed { bank } => {
+                write!(f, "column command to bank {bank} with no open row")
+            }
+            DramError::TimeRegression { now, requested } => {
+                write!(f, "command timestamp {requested} is before device time {now}")
+            }
+        }
+    }
+}
+
+impl Error for DramError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_informative() {
+        let e = DramError::BankClosed { bank: Bank::new(1) };
+        let msg = e.to_string();
+        assert!(msg.starts_with(char::is_lowercase));
+        assert!(msg.contains("B1"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn takes_error<E: Error + Send + Sync + 'static>(_: E) {}
+        takes_error(DramError::BankClosed { bank: Bank::new(0) });
+    }
+}

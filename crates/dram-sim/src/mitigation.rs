@@ -1,0 +1,201 @@
+//! The interface between the DRAM device and an in-DRAM RowHammer
+//! mitigation mechanism (TRR).
+//!
+//! Real TRR logic sits inside the chip: it observes every `ACT`, and when
+//! the memory controller issues a `REF` it may piggyback extra "TRR-
+//! induced" row refreshes onto it (§2.4 of the paper). The simulator
+//! mirrors this split: the [`crate::Module`] calls [`MitigationEngine`]
+//! hooks for activations and refreshes, and the engine answers with the
+//! aggressor rows it decided to protect against. The module — which owns
+//! the bank [`crate::Topology`] — expands each detection into the actual
+//! victim rows and restores them.
+//!
+//! Concrete engines (counter-based, sampling-based, mixed) live in the
+//! `trr` crate; this trait lives here to break the dependency cycle.
+
+use std::fmt;
+
+use crate::addr::{Bank, PhysRow};
+use crate::time::Nanos;
+
+/// How many neighbours per side a TRR detection protects.
+///
+/// Vendor A's A_TRR1 refreshes the four closest rows (±1 and ±2,
+/// Observation A2); most other designs refresh only the immediate
+/// neighbours (±1, Observation B2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NeighborSpan {
+    /// Refresh rows at physical distance 1 (two victims).
+    One,
+    /// Refresh rows at physical distance 1 and 2 (four victims).
+    Two,
+}
+
+impl NeighborSpan {
+    /// Number of rows refreshed on each side of the aggressor.
+    pub const fn per_side(self) -> u32 {
+        match self {
+            NeighborSpan::One => 1,
+            NeighborSpan::Two => 2,
+        }
+    }
+
+    /// Total victim rows refreshed per detection (edge effects aside).
+    pub const fn victims(self) -> u32 {
+        self.per_side() * 2
+    }
+}
+
+/// One aggressor-row detection produced by a TRR engine during a `REF`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TrrDetection {
+    /// The bank the detection applies to.
+    pub bank: Bank,
+    /// The detected aggressor row (physical position).
+    pub aggressor: PhysRow,
+    /// Which neighbours the engine refreshes around it.
+    pub span: NeighborSpan,
+}
+
+/// An in-DRAM RowHammer mitigation engine.
+///
+/// Engines observe activations (always in physical row space — the chip
+/// knows its own decoder) and, on each `REF`, return zero or more
+/// [`TrrDetection`]s. The device refreshes the victims of every detection
+/// together with the regular refresh work of that `REF`.
+///
+/// # Batched hooks
+///
+/// Full-bank attack sweeps issue millions of activations; engines must
+/// therefore support batch semantics. The contract for every batched hook
+/// is *order equivalence*: the engine state after
+/// `on_activations(b, r, n, t)` must be distributed identically to `n`
+/// consecutive `on_activations(b, r, 1, t)` calls, and
+/// `on_interleaved_pair(b, r1, r2, n, t)` identically to the alternating
+/// sequence `r1, r2, r1, r2, …` of length `2n`. The default
+/// implementation of [`MitigationEngine::on_interleaved_pair`] realizes
+/// exactly that loop; engines override it with closed-form updates where
+/// possible. The property tests in the `trr` crate verify the equivalence
+/// for every shipped engine.
+pub trait MitigationEngine: fmt::Debug {
+    /// Observes `count` back-to-back activations of `row` in `bank`
+    /// ending at time `now`.
+    fn on_activations(&mut self, bank: Bank, row: PhysRow, count: u64, now: Nanos);
+
+    /// Observes `pairs` alternating activations of `(first, second)`
+    /// — the sequence `first, second, first, second, …` (`2 * pairs`
+    /// activations, ending with `second`).
+    fn on_interleaved_pair(
+        &mut self,
+        bank: Bank,
+        first: PhysRow,
+        second: PhysRow,
+        pairs: u64,
+        now: Nanos,
+    ) {
+        for _ in 0..pairs {
+            self.on_activations(bank, first, 1, now);
+            self.on_activations(bank, second, 1, now);
+        }
+    }
+
+    /// Called for every `REF` command; returns the aggressor detections
+    /// whose victims this `REF` will refresh.
+    fn on_refresh(&mut self, now: Nanos) -> Vec<TrrDetection>;
+
+    /// Detections to act on *immediately*, drained after every
+    /// activation batch. In-DRAM TRR never uses this (it piggybacks on
+    /// `REF` — §2.4 of the paper), but proposed ACT-synchronous
+    /// mitigations like PARA and Graphene refresh victims the moment an
+    /// aggressor is caught. The device restores the victims right after
+    /// the batch whose activations produced them, so within one batch
+    /// (≤ ~149 activations, far below any flip threshold) the timing
+    /// approximation is harmless.
+    fn take_inline_detections(&mut self) -> Vec<TrrDetection> {
+        Vec::new()
+    }
+
+    /// Clears all internal state (counter tables, sample registers,
+    /// activation windows) back to power-on.
+    fn reset(&mut self);
+
+    /// A short identifier for logs (e.g. `"A_TRR1"`).
+    fn name(&self) -> &str;
+}
+
+/// The null mitigation: a chip without TRR. Useful as a baseline and for
+/// testing the pure retention/RowHammer physics.
+///
+/// # Example
+///
+/// ```
+/// use dram_sim::{MitigationEngine, NoMitigation, Bank, PhysRow, Nanos};
+///
+/// let mut none = NoMitigation;
+/// none.on_activations(Bank::new(0), PhysRow::new(1), 1000, Nanos::ZERO);
+/// assert!(none.on_refresh(Nanos::ZERO).is_empty());
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoMitigation;
+
+impl MitigationEngine for NoMitigation {
+    fn on_activations(&mut self, _: Bank, _: PhysRow, _: u64, _: Nanos) {}
+
+    fn on_refresh(&mut self, _: Nanos) -> Vec<TrrDetection> {
+        Vec::new()
+    }
+
+    fn reset(&mut self) {}
+
+    fn name(&self) -> &str {
+        "none"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_counts() {
+        assert_eq!(NeighborSpan::One.per_side(), 1);
+        assert_eq!(NeighborSpan::One.victims(), 2);
+        assert_eq!(NeighborSpan::Two.victims(), 4);
+    }
+
+    #[test]
+    fn no_mitigation_never_detects() {
+        let mut e = NoMitigation;
+        for i in 0..100 {
+            e.on_activations(Bank::new(0), PhysRow::new(i), 10_000, Nanos::ZERO);
+        }
+        assert!(e.on_refresh(Nanos::from_us(8)).is_empty());
+        e.reset();
+        assert_eq!(e.name(), "none");
+    }
+
+    #[test]
+    fn default_interleaved_pair_is_a_loop() {
+        // A probe engine that records the exact activation sequence.
+        #[derive(Debug, Default)]
+        struct Probe(Vec<(u32, u64)>);
+        impl MitigationEngine for Probe {
+            fn on_activations(&mut self, _: Bank, row: PhysRow, count: u64, _: Nanos) {
+                self.0.push((row.index(), count));
+            }
+            fn on_refresh(&mut self, _: Nanos) -> Vec<TrrDetection> {
+                Vec::new()
+            }
+            fn reset(&mut self) {
+                self.0.clear();
+            }
+            fn name(&self) -> &str {
+                "probe"
+            }
+        }
+
+        let mut p = Probe::default();
+        p.on_interleaved_pair(Bank::new(0), PhysRow::new(1), PhysRow::new(2), 3, Nanos::ZERO);
+        assert_eq!(p.0, vec![(1, 1), (2, 1), (1, 1), (2, 1), (1, 1), (2, 1)]);
+    }
+}

@@ -1,0 +1,539 @@
+//! Cell-level failure physics: retention, variable retention time (VRT),
+//! and RowHammer flip thresholds.
+//!
+//! The model is sparse and lazy. A 64K-row bank has billions of cells, but
+//! only two kinds matter to U-TRR experiments:
+//!
+//! * **weak cells** — cells whose retention time falls inside the horizon
+//!   a profiler would ever wait (tens of milliseconds to a few seconds).
+//!   Each row owns zero or a few of them, derived deterministically from
+//!   the module seed, so the same seed always yields the same "chip".
+//!   A weak cell only leaks from its *charged* value (true-cell vs
+//!   anti-cell orientation), so failures are data-pattern dependent just
+//!   like on real silicon.
+//! * **hammerable cells** — cells that flip when the accumulated
+//!   disturbance on their row exceeds a per-cell threshold. A row's
+//!   thresholds form an arithmetic ladder starting at the row's base
+//!   threshold, so over-hammering yields progressively more flips — the
+//!   behaviour behind Fig. 8 of the paper.
+//!
+//! Disturbance bookkeeping itself lives in [`crate::module`]; this module
+//! defines the per-row parameters and the flip rules.
+
+use crate::data::DataPattern;
+use crate::rng::{derive_seed, mix, SplitMix64};
+use crate::time::Nanos;
+
+/// Tunable physics of a simulated module.
+///
+/// The retention-side parameters shape what Row Scout finds; the
+/// `hc_*` parameters are calibrated per module so that the minimum
+/// double-sided hammer count to the first bit flip matches the module's
+/// `HC_first` column in Table 1 of the paper (see DESIGN.md §5 on
+/// calibration).
+///
+/// # Example
+///
+/// ```
+/// use dram_sim::PhysicsConfig;
+///
+/// let p = PhysicsConfig::default_test();
+/// assert!(p.weak_row_prob > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhysicsConfig {
+    /// Probability that a row has at least one profilable weak cell.
+    pub weak_row_prob: f64,
+    /// Probability of each additional weak cell beyond the first
+    /// (geometric tail).
+    pub extra_weak_cell_prob: f64,
+    /// Shortest weak-cell retention time.
+    pub retention_min: Nanos,
+    /// Longest weak-cell retention time (log-uniform in between).
+    pub retention_max: Nanos,
+    /// Probability that a weak cell suffers from VRT.
+    pub vrt_prob: f64,
+    /// Per-observation probability that a VRT cell toggles between its
+    /// short- and long-retention states.
+    pub vrt_switch_prob: f64,
+    /// Retention multiplier of a VRT cell's long state.
+    pub vrt_retention_factor: f64,
+    /// Module-level minimum hammer count: the fewest per-aggressor
+    /// activations in a double-sided pattern that flip at least one bit in
+    /// the module's weakest row (the paper's `HC_first`).
+    pub hc_first: f64,
+    /// Relative spread of per-row base thresholds: a row's threshold is
+    /// `2 * hc_first * (1 + Exp(hc_lambda))` disturbance units (mean
+    /// excess `hc_lambda`).
+    pub hc_lambda: f64,
+    /// Relative threshold step between successive hammerable cells of a
+    /// row: cell `k` flips at `hc_base * (1 + k * hc_cell_step)`.
+    pub hc_cell_step: f64,
+    /// Maximum hammerable cells per row.
+    pub hc_max_cells: u32,
+    /// Disturbance weight of distance-2 neighbours (distance-1 = 1.0).
+    pub radius2_weight: f64,
+    /// Disturbance weight of an activation that re-opens the row that was
+    /// just closed in the same bank. Repeated same-row hammering toggles
+    /// the wordline less effectively than alternating rows, which is why
+    /// the paper finds interleaved hammering up to four orders of
+    /// magnitude more effective than cascaded (§5.2).
+    pub same_row_discount: f64,
+    /// Disturbance multiplier by aggressor data pattern: solid patterns
+    /// couple fully, striped patterns slightly less.
+    pub striped_aggressor_coupling: f64,
+    /// Operating temperature in °C. The paper runs every experiment at
+    /// 85 °C (§6), which is also this model's calibration point:
+    /// retention times halve per [`PhysicsConfig::RETENTION_HALVING_C`]
+    /// degrees of heating, so cooler parts hold their charge
+    /// correspondingly longer and Row Scout has to wait further into its
+    /// `T` sweep.
+    pub temperature_c: f64,
+}
+
+impl PhysicsConfig {
+    /// The temperature the retention distributions are calibrated at.
+    pub const REFERENCE_TEMP_C: f64 = 85.0;
+
+    /// Degrees of heating that halve retention times (the standard DRAM
+    /// rule of thumb the retention literature uses).
+    pub const RETENTION_HALVING_C: f64 = 10.0;
+
+    /// Multiplier applied to every retention time at the configured
+    /// temperature: 1.0 at the 85 °C reference, 2× per 10 °C of cooling.
+    pub fn retention_scale(&self) -> f64 {
+        ((Self::REFERENCE_TEMP_C - self.temperature_c) / Self::RETENTION_HALVING_C).exp2()
+    }
+
+    /// A small, aggressive configuration for unit tests: every row has a
+    /// retention tail (as on real chips at 85 °C, where most rows fail
+    /// within a few seconds), low hammer thresholds.
+    pub fn default_test() -> Self {
+        PhysicsConfig {
+            weak_row_prob: 1.0,
+            extra_weak_cell_prob: 0.35,
+            retention_min: Nanos::from_ms(80),
+            retention_max: Nanos::from_ms(480),
+            vrt_prob: 0.15,
+            vrt_switch_prob: 0.08,
+            vrt_retention_factor: 3.0,
+            hc_first: 1_000.0,
+            hc_lambda: 0.4,
+            hc_cell_step: 0.12,
+            hc_max_cells: 64,
+            radius2_weight: 0.25,
+            same_row_discount: 0.5,
+            striped_aggressor_coupling: 0.85,
+            temperature_c: PhysicsConfig::REFERENCE_TEMP_C,
+        }
+    }
+
+    /// A configuration calibrated around a Table-1 `HC_first` value.
+    pub fn with_hc_first(hc_first: u64) -> Self {
+        PhysicsConfig { hc_first: hc_first as f64, ..PhysicsConfig::default_test() }
+    }
+
+    /// The disturbance units at which the module's weakest possible row
+    /// takes its first flip (double-sided: two units per per-aggressor
+    /// hammer).
+    pub fn min_base_threshold(&self) -> f64 {
+        2.0 * self.hc_first
+    }
+
+    /// Disturbance coupling factor for an aggressor holding `pattern`.
+    pub fn aggressor_coupling(&self, pattern: Option<&DataPattern>) -> f64 {
+        match pattern {
+            Some(DataPattern::Checkerboard) => self.striped_aggressor_coupling,
+            // Solid, row-striped, custom, or unwritten rows couple fully.
+            _ => 1.0,
+        }
+    }
+}
+
+/// The two-state retention of a VRT-afflicted cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct VrtState {
+    /// Retention time while in the long state.
+    pub long_retention: Nanos,
+    /// Whether the cell currently holds charge for the long time.
+    pub in_long: bool,
+}
+
+/// A retention-weak cell of one row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct WeakCell {
+    /// Bit position within the row.
+    pub bit: u32,
+    /// Retention time (short state, for VRT cells).
+    pub retention: Nanos,
+    /// The data value the cell leaks *from*: a flip happens only when the
+    /// stored bit equals this value.
+    pub charged_value: bool,
+    /// VRT behaviour, if any.
+    pub vrt: Option<VrtState>,
+}
+
+impl WeakCell {
+    /// The retention time currently in effect.
+    pub fn effective_retention(&self) -> Nanos {
+        match &self.vrt {
+            Some(v) if v.in_long => v.long_retention,
+            _ => self.retention,
+        }
+    }
+}
+
+/// Per-row physical parameters, derived deterministically from the module
+/// seed and cached by the device on first touch.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct RowPhysics {
+    /// Retention-weak cells, if any.
+    pub weak_cells: Vec<WeakCell>,
+    /// Disturbance units at which this row's first RowHammer flip occurs.
+    pub hc_base: f64,
+    /// Seed for deriving hammerable-cell positions.
+    cell_seed: u64,
+    /// RNG stream driving VRT transitions of this row.
+    vrt_rng: SplitMix64,
+}
+
+impl RowPhysics {
+    /// Derives the physics of row `stream` (a stable `(bank, phys row)`
+    /// encoding chosen by the module) of a module seeded with `seed`.
+    pub fn derive(cfg: &PhysicsConfig, seed: u64, stream: u64, row_bits: u32) -> Self {
+        let mut rng = SplitMix64::new(derive_seed(seed, stream));
+        let scale = cfg.retention_scale();
+        let mut weak_cells = Vec::new();
+        if rng.next_bool(cfg.weak_row_prob) {
+            loop {
+                let retention = Nanos::from_ns((rng.next_log_uniform(
+                    cfg.retention_min.as_ns() as f64,
+                    cfg.retention_max.as_ns() as f64,
+                ) * scale) as u64);
+                let vrt = if rng.next_bool(cfg.vrt_prob) {
+                    Some(VrtState {
+                        long_retention: Nanos::from_ns(
+                            (retention.as_ns() as f64 * cfg.vrt_retention_factor) as u64,
+                        ),
+                        in_long: rng.next_bool(0.5),
+                    })
+                } else {
+                    None
+                };
+                weak_cells.push(WeakCell {
+                    bit: rng.next_below(row_bits as u64) as u32,
+                    retention,
+                    charged_value: rng.next_bool(0.5),
+                    vrt,
+                });
+                if !rng.next_bool(cfg.extra_weak_cell_prob) {
+                    break;
+                }
+            }
+        }
+        let hc_base = cfg.min_base_threshold() * (1.0 + rng.next_exp(cfg.hc_lambda));
+        let cell_seed = rng.next_u64();
+        let vrt_rng = SplitMix64::new(rng.next_u64());
+        RowPhysics { weak_cells, hc_base, cell_seed, vrt_rng }
+    }
+
+    /// Shortest currently-effective retention among the row's weak cells,
+    /// or `None` if the row has no weak cells.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn min_retention(&self) -> Option<Nanos> {
+        self.weak_cells.iter().map(WeakCell::effective_retention).min()
+    }
+
+    /// Whether any weak cell of the row is VRT-afflicted.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn has_vrt(&self) -> bool {
+        self.weak_cells.iter().any(|c| c.vrt.is_some())
+    }
+
+    /// Advances the VRT Markov chain of every VRT cell by one observation
+    /// window. Called by the device whenever a non-trivial decay window
+    /// ends (a restore after time has passed).
+    pub fn advance_vrt(&mut self, cfg: &PhysicsConfig) {
+        for cell in &mut self.weak_cells {
+            if let Some(vrt) = &mut cell.vrt {
+                if self.vrt_rng.next_bool(cfg.vrt_switch_prob) {
+                    vrt.in_long = !vrt.in_long;
+                }
+            }
+        }
+    }
+
+    /// Number of hammerable cells whose threshold is at or below the
+    /// accumulated disturbance `d`.
+    pub fn hammer_flip_count(&self, cfg: &PhysicsConfig, d: f64) -> u32 {
+        if d < self.hc_base {
+            return 0;
+        }
+        let excess = d / self.hc_base - 1.0;
+        let n = 1 + (excess / cfg.hc_cell_step) as u32;
+        n.min(cfg.hc_max_cells)
+    }
+
+    /// The bit position and vulnerable-from value of the row's `k`-th
+    /// hammerable cell.
+    pub fn hammer_cell(&self, k: u32, row_bits: u32) -> (u32, bool) {
+        let h = mix(self.cell_seed ^ (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let bit = (h % row_bits as u64) as u32;
+        let vulnerable_from = h >> 63 == 1;
+        (bit, vulnerable_from)
+    }
+}
+
+/// Applies weak-cell decay and RowHammer flips to a row's data for a decay
+/// window of `elapsed` with accumulated disturbance `disturbance`. Returns
+/// the bit flips as `(bit, new_value)`; the caller owns the data update.
+pub(crate) fn window_flips(
+    physics: &RowPhysics,
+    cfg: &PhysicsConfig,
+    elapsed: Nanos,
+    disturbance: f64,
+    row_bits: u32,
+    stored_bit: impl Fn(u32) -> bool,
+) -> Vec<u32> {
+    let mut flips = Vec::new();
+    for cell in &physics.weak_cells {
+        if elapsed > cell.effective_retention() && stored_bit(cell.bit) == cell.charged_value {
+            flips.push(cell.bit);
+        }
+    }
+    let hammer_flips = physics.hammer_flip_count(cfg, disturbance);
+    for k in 0..hammer_flips {
+        let (bit, vulnerable_from) = physics.hammer_cell(k, row_bits);
+        if stored_bit(bit) == vulnerable_from && !flips.contains(&bit) {
+            flips.push(bit);
+        }
+    }
+    flips
+}
+
+/// Introspection snapshot of a row's ground-truth physics, exposed for
+/// tests and calibration tooling (real hardware offers no such window —
+/// experiments must not rely on it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowPhysicsView {
+    /// `(bit, retention, is_vrt)` for each weak cell.
+    pub weak_cells: Vec<(u32, Nanos, bool)>,
+    /// First-flip disturbance threshold.
+    pub hc_base: f64,
+}
+
+impl RowPhysicsView {
+    pub(crate) fn of(physics: &RowPhysics) -> Self {
+        RowPhysicsView {
+            weak_cells: physics
+                .weak_cells
+                .iter()
+                .map(|c| (c.bit, c.retention, c.vrt.is_some()))
+                .collect(),
+            hc_base: physics.hc_base,
+        }
+    }
+
+    /// Shortest short-state retention among weak cells.
+    pub fn min_retention(&self) -> Option<Nanos> {
+        self.weak_cells.iter().map(|&(_, r, _)| r).min()
+    }
+
+    /// Whether the row has any VRT cell.
+    pub fn has_vrt(&self) -> bool {
+        self.weak_cells.iter().any(|&(_, _, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> PhysicsConfig {
+        PhysicsConfig::default_test()
+    }
+
+    #[test]
+    fn derivation_is_deterministic() {
+        let a = RowPhysics::derive(&cfg(), 1, 7, 2048);
+        let b = RowPhysics::derive(&cfg(), 1, 7, 2048);
+        assert_eq!(a, b);
+        let c = RowPhysics::derive(&cfg(), 1, 8, 2048);
+        assert_ne!(a.hc_base, c.hc_base);
+    }
+
+    #[test]
+    fn weak_row_fraction_close_to_config() {
+        let c = cfg();
+        let weak = (0..20_000)
+            .filter(|&s| !RowPhysics::derive(&c, 3, s, 2048).weak_cells.is_empty())
+            .count();
+        let frac = weak as f64 / 20_000.0;
+        assert!((frac - c.weak_row_prob).abs() < 0.01, "observed {frac}");
+    }
+
+    #[test]
+    fn retention_is_within_bounds() {
+        let c = cfg();
+        for s in 0..5_000 {
+            for cell in &RowPhysics::derive(&c, 5, s, 2048).weak_cells {
+                assert!(cell.retention >= c.retention_min);
+                assert!(cell.retention <= c.retention_max);
+            }
+        }
+    }
+
+    #[test]
+    fn hc_base_floor_is_twice_hc_first() {
+        let c = cfg();
+        let min = (0..20_000)
+            .map(|s| RowPhysics::derive(&c, 9, s, 2048).hc_base)
+            .fold(f64::INFINITY, f64::min);
+        assert!(min >= c.min_base_threshold());
+        assert!(min < c.min_base_threshold() * 1.05, "weakest row near HC_first: {min}");
+    }
+
+    #[test]
+    fn hammer_flip_count_ladder() {
+        let c = cfg();
+        let p = RowPhysics::derive(&c, 9, 0, 2048);
+        assert_eq!(p.hammer_flip_count(&c, 0.0), 0);
+        assert_eq!(p.hammer_flip_count(&c, p.hc_base * 0.999), 0);
+        assert_eq!(p.hammer_flip_count(&c, p.hc_base), 1);
+        let heavy = p.hammer_flip_count(&c, p.hc_base * 3.0);
+        assert!(heavy > 10, "over-hammering yields many flips: {heavy}");
+        assert!(p.hammer_flip_count(&c, p.hc_base * 1e6) == c.hc_max_cells);
+    }
+
+    #[test]
+    fn hammer_cells_are_stable_and_in_range() {
+        let c = cfg();
+        let p = RowPhysics::derive(&c, 2, 0, 2048);
+        for k in 0..c.hc_max_cells {
+            let (bit, _) = p.hammer_cell(k, 2048);
+            assert!(bit < 2048);
+            assert_eq!(p.hammer_cell(k, 2048), p.hammer_cell(k, 2048));
+        }
+    }
+
+    #[test]
+    fn vrt_cells_toggle_eventually() {
+        let c = cfg();
+        // Find a VRT row.
+        let mut p = (0..10_000)
+            .map(|s| RowPhysics::derive(&c, 11, s, 2048))
+            .find(|p| p.has_vrt())
+            .expect("some VRT row exists");
+        let initial: Vec<Nanos> = p.weak_cells.iter().map(WeakCell::effective_retention).collect();
+        let mut changed = false;
+        for _ in 0..1_000 {
+            p.advance_vrt(&c);
+            let now: Vec<Nanos> = p.weak_cells.iter().map(WeakCell::effective_retention).collect();
+            if now != initial {
+                changed = true;
+                break;
+            }
+        }
+        assert!(changed, "VRT state must eventually switch");
+    }
+
+    #[test]
+    fn non_vrt_rows_never_change() {
+        let c = cfg();
+        let mut p = (0..10_000)
+            .map(|s| RowPhysics::derive(&c, 13, s, 2048))
+            .find(|p| !p.weak_cells.is_empty() && !p.has_vrt())
+            .expect("some weak non-VRT row exists");
+        let initial = p.min_retention();
+        for _ in 0..1_000 {
+            p.advance_vrt(&c);
+        }
+        assert_eq!(p.min_retention(), initial);
+    }
+
+    #[test]
+    fn window_flips_respect_data_orientation() {
+        let c = cfg();
+        let p = (0..10_000)
+            .map(|s| RowPhysics::derive(&c, 17, s, 2048))
+            .find(|p| !p.weak_cells.is_empty())
+            .expect("weak row exists");
+        let cell = &p.weak_cells[0];
+        let long = cell.effective_retention() + Nanos::from_ms(10_000);
+
+        // Stored at the charged value: decays.
+        let flips = window_flips(&p, &c, long, 0.0, 2048, |_| cell.charged_value);
+        assert!(flips.contains(&cell.bit));
+
+        // Stored at the discharged value: nothing to lose.
+        let flips = window_flips(&p, &c, long, 0.0, 2048, |_| !cell.charged_value);
+        assert!(!flips.contains(&cell.bit));
+
+        // Within retention: clean.
+        let flips = window_flips(&p, &c, Nanos::from_ms(1), 0.0, 2048, |_| cell.charged_value);
+        assert!(flips.is_empty());
+    }
+
+    #[test]
+    fn window_flips_deduplicates_hammer_and_retention() {
+        let c = cfg();
+        let p = RowPhysics::derive(&c, 19, 0, 2048);
+        let flips = window_flips(&p, &c, Nanos::from_ms(60_000), p.hc_base * 50.0, 2048, |_| true);
+        let mut sorted = flips.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), flips.len(), "no duplicate bit reports");
+    }
+
+    #[test]
+    fn temperature_scales_retention() {
+        let hot = cfg();
+        let mut cool = cfg();
+        cool.temperature_c = 45.0; // 40 °C cooler → 16× longer retention
+        assert_eq!(hot.retention_scale(), 1.0);
+        assert_eq!(cool.retention_scale(), 16.0);
+        for s in 0..200 {
+            let p_hot = RowPhysics::derive(&hot, 7, s, 2048);
+            let p_cool = RowPhysics::derive(&cool, 7, s, 2048);
+            for (a, b) in p_hot.weak_cells.iter().zip(&p_cool.weak_cells) {
+                assert_eq!(a.bit, b.bit, "same cells, different clock");
+                let ratio = b.retention.as_ns() as f64 / a.retention.as_ns() as f64;
+                assert!((ratio - 16.0).abs() < 0.01, "ratio {ratio}");
+            }
+        }
+    }
+
+    #[test]
+    fn heating_beyond_reference_shortens_retention() {
+        let mut hotter = cfg();
+        hotter.temperature_c = 95.0;
+        assert_eq!(hotter.retention_scale(), 0.5);
+        let p = (0..500)
+            .map(|s| RowPhysics::derive(&hotter, 9, s, 2048))
+            .find(|p| !p.weak_cells.is_empty())
+            .unwrap();
+        let reference = RowPhysics::derive(&cfg(), 9, 0, 2048);
+        let _ = reference;
+        assert!(p.min_retention().unwrap() < cfg().retention_max);
+    }
+
+    #[test]
+    fn aggressor_coupling_distinguishes_patterns() {
+        let c = cfg();
+        assert_eq!(c.aggressor_coupling(Some(&DataPattern::Ones)), 1.0);
+        assert_eq!(c.aggressor_coupling(None), 1.0);
+        assert!(c.aggressor_coupling(Some(&DataPattern::Checkerboard)) < 1.0);
+    }
+
+    #[test]
+    fn physics_view_reports_ground_truth() {
+        let c = cfg();
+        let p = (0..10_000)
+            .map(|s| RowPhysics::derive(&c, 23, s, 2048))
+            .find(|p| !p.weak_cells.is_empty())
+            .unwrap();
+        let view = RowPhysicsView::of(&p);
+        assert_eq!(view.min_retention(), p.min_retention());
+        assert_eq!(view.hc_base, p.hc_base);
+    }
+}

@@ -1,0 +1,215 @@
+//! An extended Hamming (72, 64) SECDED code — the typical DRAM ECC the
+//! paper's §7.4 evaluates ("which can be corrected using typical SECDED
+//! ECC"): corrects any single bit error, detects any double bit error,
+//! and may silently miscorrect three or more.
+//!
+//! Construction: the classic Hamming layout over codeword positions
+//! 1..=71 with check bits at the power-of-two positions (7 check bits
+//! cover 71 positions and leave exactly 64 data positions), plus an
+//! overall parity bit for the double-error-detect extension.
+
+/// A stored 72-bit word: 64 data bits plus 8 check bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StoredWord {
+    /// The 64 data bits.
+    pub data: u64,
+    /// 7 Hamming check bits (low bits) plus the overall parity bit
+    /// (bit 7).
+    pub check: u8,
+}
+
+/// Decoder outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SecdedDecode {
+    /// No error detected; payload is the stored data.
+    Clean(u64),
+    /// A single-bit error was corrected; payload is the corrected data.
+    Corrected(u64),
+    /// An uncorrectable (double) error was detected.
+    Detected,
+}
+
+impl SecdedDecode {
+    /// The data the memory controller would hand to the CPU, if any.
+    pub fn corrected(&self) -> Option<u64> {
+        match self {
+            SecdedDecode::Clean(d) | SecdedDecode::Corrected(d) => Some(*d),
+            SecdedDecode::Detected => None,
+        }
+    }
+}
+
+/// The (72, 64) SECDED codec. See the [module docs](self).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Secded7264 {
+    _private: (),
+}
+
+/// Codeword positions 1..=71 that are *not* powers of two, in order:
+/// these hold the 64 data bits.
+fn data_positions() -> impl Iterator<Item = u32> {
+    (1..=71u32).filter(|p| !p.is_power_of_two())
+}
+
+impl Secded7264 {
+    /// Creates the codec.
+    pub fn new() -> Self {
+        Secded7264 { _private: () }
+    }
+
+    /// Encodes 64 data bits into a stored word.
+    pub fn encode(&self, data: u64) -> StoredWord {
+        // Scatter data into the Hamming positions and compute the
+        // position-XOR; check bit i is the parity of all positions with
+        // bit i set, which equals bit i of the XOR of all set positions.
+        let mut xor_positions = 0u32;
+        let mut ones = 0u32;
+        for (bit, pos) in data_positions().enumerate() {
+            if data >> bit & 1 == 1 {
+                xor_positions ^= pos;
+                ones += 1;
+            }
+        }
+        let check7 = (xor_positions & 0x7F) as u8;
+        // Overall parity covers every stored bit (data + 7 check bits).
+        let total_ones = ones + check7.count_ones();
+        let parity = (total_ones & 1) as u8;
+        StoredWord { data, check: check7 | parity << 7 }
+    }
+
+    /// Decodes a stored word.
+    pub fn decode(&self, word: StoredWord) -> SecdedDecode {
+        // Recompute the Hamming check bits over the *stored* data; the
+        // syndrome is the disagreement with the stored check bits.
+        let mut xor_positions = 0u32;
+        for (bit, pos) in data_positions().enumerate() {
+            if word.data >> bit & 1 == 1 {
+                xor_positions ^= pos;
+            }
+        }
+        let syndrome = (word.check & 0x7F) ^ (xor_positions & 0x7F) as u8;
+        // The overall parity covers every stored bit (data, check bits,
+        // and the parity bit itself): any odd number of flips violates
+        // it. `encode` chose the parity bit to make the total even.
+        let parity_mismatch =
+            (word.data.count_ones() + word.check.count_ones()) % 2 == 1;
+        match (syndrome, parity_mismatch) {
+            (0, false) => SecdedDecode::Clean(word.data),
+            // Overall-parity bit itself flipped.
+            (0, true) => SecdedDecode::Corrected(word.data),
+            // Single error: the syndrome names the flipped position.
+            (s, true) => {
+                let pos = s as u32;
+                if pos.is_power_of_two() {
+                    // A check bit flipped; data is intact.
+                    return SecdedDecode::Corrected(word.data);
+                }
+                match data_positions().position(|p| p == pos) {
+                    Some(bit) => SecdedDecode::Corrected(word.data ^ 1 << bit),
+                    None => SecdedDecode::Detected, // position 72+: impossible single
+                }
+            }
+            // Non-zero syndrome with matching parity: double error.
+            (_, false) => SecdedDecode::Detected,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_sim::rng::SplitMix64;
+
+    #[test]
+    fn clean_roundtrip() {
+        let code = Secded7264::new();
+        for data in [0u64, u64::MAX, 0xDEAD_BEEF_0123_4567, 1, 1 << 63] {
+            assert_eq!(code.decode(code.encode(data)), SecdedDecode::Clean(data));
+        }
+    }
+
+    #[test]
+    fn corrects_every_single_data_bit_flip() {
+        let code = Secded7264::new();
+        let data = 0xA5A5_0F0F_3C3C_9999u64;
+        for bit in 0..64 {
+            let mut word = code.encode(data);
+            word.data ^= 1 << bit;
+            assert_eq!(code.decode(word), SecdedDecode::Corrected(data), "bit {bit}");
+        }
+    }
+
+    #[test]
+    fn corrects_every_single_check_bit_flip() {
+        let code = Secded7264::new();
+        let data = 0x0123_4567_89AB_CDEFu64;
+        for bit in 0..8 {
+            let mut word = code.encode(data);
+            word.check ^= 1 << bit;
+            let decoded = code.decode(word);
+            assert_eq!(decoded.corrected(), Some(data), "check bit {bit}: {decoded:?}");
+        }
+    }
+
+    #[test]
+    fn detects_every_double_data_bit_flip() {
+        let code = Secded7264::new();
+        let data = 0xFEDC_BA98_7654_3210u64;
+        let mut rng = SplitMix64::new(4);
+        for _ in 0..2_000 {
+            let a = rng.next_below(64) as u32;
+            let b = rng.next_below(64) as u32;
+            if a == b {
+                continue;
+            }
+            let mut word = code.encode(data);
+            word.data ^= 1 << a | 1 << b;
+            assert_eq!(code.decode(word), SecdedDecode::Detected, "bits {a},{b}");
+        }
+    }
+
+    #[test]
+    fn detects_mixed_data_check_double_flips() {
+        let code = Secded7264::new();
+        let data = 77u64;
+        for data_bit in [0u32, 13, 63] {
+            for check_bit in 0..8 {
+                let mut word = code.encode(data);
+                word.data ^= 1 << data_bit;
+                word.check ^= 1 << check_bit;
+                assert_eq!(code.decode(word), SecdedDecode::Detected);
+            }
+        }
+    }
+
+    #[test]
+    fn triple_flips_can_miscorrect() {
+        // ≥3 flips break the guarantee: the decoder often "corrects" to
+        // wrong data — the paper's §7.4 point.
+        let code = Secded7264::new();
+        let data = 0x1111_2222_3333_4444u64;
+        let mut rng = SplitMix64::new(5);
+        let mut miscorrected = 0;
+        let mut detected = 0;
+        for _ in 0..2_000 {
+            let mut bits = Vec::new();
+            while bits.len() < 3 {
+                let b = rng.next_below(64) as u32;
+                if !bits.contains(&b) {
+                    bits.push(b);
+                }
+            }
+            let mut word = code.encode(data);
+            for &b in &bits {
+                word.data ^= 1 << b;
+            }
+            match code.decode(word) {
+                SecdedDecode::Detected => detected += 1,
+                SecdedDecode::Corrected(d) if d != data => miscorrected += 1,
+                other => panic!("3 flips cannot decode clean/right: {other:?}"),
+            }
+        }
+        assert!(miscorrected > 500, "typical triples miscorrect: {miscorrected}");
+        assert!(detected > 0, "some triples alias to invalid positions: {detected}");
+    }
+}

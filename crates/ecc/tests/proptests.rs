@@ -1,0 +1,116 @@
+//! Property tests on the ECC codecs' correction guarantees.
+
+use ecc::rs::{ReedSolomon, RsDecode};
+use ecc::secded::{Secded7264, SecdedDecode};
+use ecc::Chipkill;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// SECDED corrects any single flip (data or check) of any word.
+    #[test]
+    fn secded_corrects_any_single_flip(data in any::<u64>(), bit in 0u32..72) {
+        let code = Secded7264::new();
+        let mut word = code.encode(data);
+        if bit < 64 {
+            word.data ^= 1u64 << bit;
+        } else {
+            word.check ^= 1u8 << (bit - 64);
+        }
+        prop_assert_eq!(code.decode(word).corrected(), Some(data));
+    }
+
+    /// SECDED detects any double flip and never silently corrupts.
+    #[test]
+    fn secded_detects_any_double_flip(
+        data in any::<u64>(),
+        a in 0u32..72,
+        b in 0u32..72,
+    ) {
+        prop_assume!(a != b);
+        let code = Secded7264::new();
+        let mut word = code.encode(data);
+        for bit in [a, b] {
+            if bit < 64 {
+                word.data ^= 1u64 << bit;
+            } else {
+                word.check ^= 1u8 << (bit - 64);
+            }
+        }
+        prop_assert_eq!(code.decode(word), SecdedDecode::Detected);
+    }
+
+    /// Reed-Solomon corrects any ⌊parity/2⌋ symbol errors of any word.
+    #[test]
+    fn rs_corrects_up_to_t_errors(
+        data in prop::collection::vec(any::<u8>(), 12),
+        parity in 2usize..9,
+        positions in prop::collection::hash_set(0usize..20, 0..4),
+        magnitudes in prop::collection::vec(1u8..=255, 4),
+    ) {
+        let code = ReedSolomon::gf256(12, parity);
+        let t = code.correctable();
+        let mut word = code.encode(&data);
+        let errors: Vec<usize> =
+            positions.into_iter().filter(|&p| p < word.len()).take(t).collect();
+        for (i, &p) in errors.iter().enumerate() {
+            word[p] ^= magnitudes[i % magnitudes.len()];
+        }
+        let decoded = code.decode(&word);
+        prop_assert_eq!(decoded.data(), Some(&data[..]));
+    }
+
+    /// Reed-Solomon never reports "clean" for a word with errors.
+    #[test]
+    fn rs_never_accepts_corrupted_word_as_clean(
+        data in prop::collection::vec(any::<u8>(), 8),
+        parity in 2usize..8,
+        position in 0usize..10,
+        magnitude in 1u8..=255,
+    ) {
+        let code = ReedSolomon::gf256(8, parity);
+        let mut word = code.encode(&data);
+        let p = position % word.len();
+        word[p] ^= magnitude;
+        match code.decode(&word) {
+            RsDecode::Clean(_) => prop_assert!(false, "corrupted word accepted as clean"),
+            RsDecode::Corrected(d) => prop_assert_eq!(d, data),
+            RsDecode::Uncorrectable => {}
+        }
+    }
+
+    /// Chipkill corrects arbitrary corruption confined to one nibble.
+    #[test]
+    fn chipkill_corrects_any_single_symbol(
+        data in any::<u64>(),
+        nibble in 0u32..16,
+        pattern in 1u8..16,
+    ) {
+        let code = Chipkill::new();
+        let bits: Vec<u32> = (0..4)
+            .filter(|o| pattern >> o & 1 == 1)
+            .map(|o| nibble * 4 + o)
+            .collect();
+        prop_assert_eq!(code.roundtrip_with_flips(data, &bits).corrected(), Some(data));
+    }
+
+    /// Chipkill never misdecodes when exactly two symbols (in the same
+    /// lane) are corrupted: SSC-DSD detects them.
+    #[test]
+    fn chipkill_detects_double_symbols_same_lane(
+        data in any::<u64>(),
+        s1 in 0u32..8,
+        s2 in 0u32..8,
+        o1 in 0u32..4,
+        o2 in 0u32..4,
+    ) {
+        prop_assume!(s1 != s2);
+        let code = Chipkill::new();
+        // Both flips in even nibbles (nibble 2·s at bit 8·s + offset):
+        // both land in lane 0.
+        let bits = vec![s1 * 8 + o1, s2 * 8 + o2];
+        let decoded = code.roundtrip_with_flips(data, &bits);
+        prop_assert_eq!(decoded.corrected(), None, "two lane-0 symbols must be detected");
+    }
+}

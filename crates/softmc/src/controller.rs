@@ -1,0 +1,439 @@
+//! The memory controller: high-level building blocks over raw DDR
+//! commands.
+
+use dram_sim::{
+    Bank, DataPattern, DramError, Module, Nanos, RowAddr, RowReadout,
+};
+
+/// The order in which multiple aggressor rows are hammered (§5.2).
+///
+/// The paper: "interleaved hammering generally causes more bit flips (up
+/// to four orders of magnitude) compared to cascaded hammering […] in
+/// contrast, cascaded hammering is more effective at evading the TRR
+/// mechanism. Therefore, it is critical to support both hammering modes."
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum HammerMode {
+    /// Hammer each aggressor one activation at a time, round-robin, until
+    /// every aggressor reaches its count.
+    #[default]
+    Interleaved,
+    /// Hammer one aggressor to its full count before moving to the next.
+    Cascaded,
+}
+
+/// A multi-aggressor hammer specification: per-aggressor counts and the
+/// hammering mode (Requirement 1 of §5.1).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HammerSpec {
+    /// `(row, hammer count)` per aggressor, hammered in this order.
+    pub aggressors: Vec<(RowAddr, u64)>,
+    /// Interleaved or cascaded (§5.2).
+    pub mode: HammerMode,
+}
+
+impl HammerSpec {
+    /// A single-sided hammer of one aggressor.
+    pub fn single_sided(aggressor: RowAddr, count: u64) -> Self {
+        HammerSpec { aggressors: vec![(aggressor, count)], mode: HammerMode::Cascaded }
+    }
+
+    /// The classic double-sided pattern around `victim` (Fig. 2b):
+    /// alternating activations of the two logical neighbours. Callers
+    /// that know the physical mapping should pass physical neighbours
+    /// through [`HammerSpec::interleaved_pair`] instead.
+    pub fn double_sided(victim: RowAddr, count_per_aggressor: u64) -> Self {
+        HammerSpec::interleaved_pair(victim.minus(1), victim.plus(1), count_per_aggressor)
+    }
+
+    /// Two aggressors hammered in interleaved mode, `count` times each.
+    pub fn interleaved_pair(first: RowAddr, second: RowAddr, count: u64) -> Self {
+        HammerSpec {
+            aggressors: vec![(first, count), (second, count)],
+            mode: HammerMode::Interleaved,
+        }
+    }
+
+    /// Total number of activations the spec performs.
+    pub fn total_hammers(&self) -> u64 {
+        self.aggressors.iter().map(|&(_, n)| n).sum()
+    }
+
+    /// Sets the mode, builder-style.
+    pub fn with_mode(mut self, mode: HammerMode) -> Self {
+        self.mode = mode;
+        self
+    }
+}
+
+/// A command-level memory controller driving one simulated module.
+///
+/// See the [crate docs](crate) for an end-to-end example.
+#[derive(Debug)]
+pub struct MemoryController {
+    module: Module,
+}
+
+impl MemoryController {
+    /// Takes ownership of a module. No refresh happens unless explicitly
+    /// requested.
+    pub fn new(module: Module) -> Self {
+        MemoryController { module }
+    }
+
+    /// The underlying device (read-only).
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    /// The underlying device. Escape hatch for raw command sequences.
+    pub fn module_mut(&mut self) -> &mut Module {
+        &mut self.module
+    }
+
+    /// Releases the device.
+    pub fn into_module(self) -> Module {
+        self.module
+    }
+
+    /// Current device time.
+    pub fn now(&self) -> Nanos {
+        self.module.now()
+    }
+
+    /// Writes `pattern` into a row (activate, write, precharge).
+    ///
+    /// # Errors
+    ///
+    /// Propagates protocol/addressing errors from the device.
+    pub fn write_row(
+        &mut self,
+        bank: Bank,
+        row: RowAddr,
+        pattern: DataPattern,
+    ) -> Result<(), DramError> {
+        self.module.write_row(bank, row, pattern)
+    }
+
+    /// Writes `pattern` into every row in `rows`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates protocol/addressing errors from the device.
+    pub fn write_rows(
+        &mut self,
+        bank: Bank,
+        rows: &[RowAddr],
+        pattern: &DataPattern,
+    ) -> Result<(), DramError> {
+        for &row in rows {
+            self.module.write_row(bank, row, pattern.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Reads a row back (activate, read, precharge).
+    ///
+    /// # Errors
+    ///
+    /// Propagates protocol/addressing errors from the device.
+    pub fn read_row(&mut self, bank: Bank, row: RowAddr) -> Result<RowReadout, DramError> {
+        self.module.read_row(bank, row)
+    }
+
+    /// Reads every row in `rows`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates protocol/addressing errors from the device.
+    pub fn read_rows(
+        &mut self,
+        bank: Bank,
+        rows: &[RowAddr],
+    ) -> Result<Vec<RowReadout>, DramError> {
+        rows.iter().map(|&row| self.module.read_row(bank, row)).collect()
+    }
+
+    /// Lets time pass with refresh disabled (rows decay).
+    pub fn wait_no_refresh(&mut self, duration: Nanos) {
+        self.module.advance(duration);
+    }
+
+    /// Lets time pass while issuing `REF` at the default rate (one per
+    /// `tREFI`), like a normal system would.
+    pub fn wait_with_refresh(&mut self, duration: Nanos) {
+        let t_refi = self.module.timings().t_refi;
+        let refs = duration.as_ns() / t_refi.as_ns();
+        self.module.refresh_burst_at_refi(refs);
+        let remainder = duration - t_refi * refs;
+        self.module.advance(remainder);
+    }
+
+    /// Issues `count` `REF` commands paced at the default `tREFI` rate
+    /// (Requirement 3 of §5.1: flexible `REF` issuing).
+    pub fn refresh(&mut self, count: u64) {
+        self.module.refresh_burst_at_refi(count);
+    }
+
+    /// Executes a hammer specification against one bank (Requirements 1
+    /// and 2 of §5.1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates protocol/addressing errors from the device.
+    pub fn hammer(&mut self, bank: Bank, spec: &HammerSpec) -> Result<(), DramError> {
+        match spec.mode {
+            HammerMode::Cascaded => {
+                for &(row, count) in &spec.aggressors {
+                    self.module.hammer(bank, row, count)?;
+                }
+            }
+            HammerMode::Interleaved => self.hammer_interleaved(bank, &spec.aggressors)?,
+        }
+        Ok(())
+    }
+
+    /// Round-robin interleaved hammering with per-aggressor counts. The
+    /// two-aggressor equal-count case uses the device's batched
+    /// interleaved path; everything else replays activation by
+    /// activation.
+    fn hammer_interleaved(
+        &mut self,
+        bank: Bank,
+        aggressors: &[(RowAddr, u64)],
+    ) -> Result<(), DramError> {
+        match aggressors {
+            [] => Ok(()),
+            [(row, count)] => self.module.hammer(bank, *row, *count),
+            [(r1, c1), (r2, c2)] if c1 == c2 => self.module.hammer_pair(bank, *r1, *r2, *c1),
+            _ => {
+                let mut remaining: Vec<(RowAddr, u64)> = aggressors.to_vec();
+                loop {
+                    let mut any = false;
+                    for (row, count) in &mut remaining {
+                        if *count > 0 {
+                            self.module.hammer(bank, *row, 1)?;
+                            *count -= 1;
+                            any = true;
+                        }
+                    }
+                    if !any {
+                        return Ok(());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Picks `count` dummy rows in `bank` at physical distance of at
+    /// least `min_distance` from every row in `avoid` (the paper enforces
+    /// a minimum distance of 100 so dummy hammering cannot disturb the
+    /// profiled rows).
+    pub fn pick_dummy_rows(
+        &self,
+        avoid: &[RowAddr],
+        min_distance: u32,
+        count: usize,
+    ) -> Vec<RowAddr> {
+        let rows = self.module.geometry().rows_per_bank;
+        let avoid_phys: Vec<u32> =
+            avoid.iter().map(|&r| self.module.phys_of(r).index()).collect();
+        let mut out = Vec::with_capacity(count);
+        let mut candidate = 0u32;
+        while out.len() < count && candidate < rows {
+            let logical = RowAddr::new(candidate);
+            let phys = self.module.phys_of(logical).index();
+            let clear = avoid_phys.iter().all(|&a| phys.abs_diff(a) >= min_distance);
+            // Also keep dummies spread apart so they occupy distinct TRR
+            // tracker entries.
+            let spread = out
+                .iter()
+                .all(|&r: &RowAddr| self.module.phys_of(r).index().abs_diff(phys) >= 4);
+            if clear && spread {
+                out.push(logical);
+            }
+            candidate += 1;
+        }
+        out
+    }
+
+    /// Resets the TRR mechanism's internal state without any backdoor
+    /// (Requirement 4 of §5.1): issues `REF` at the default rate for
+    /// `periods` nominal 64 ms refresh periods while hammering `dummies`
+    /// between consecutive `REF` commands as much as the timing budget
+    /// allows.
+    ///
+    /// # Errors
+    ///
+    /// Propagates protocol/addressing errors from the device.
+    pub fn reset_trr_state(
+        &mut self,
+        bank: Bank,
+        dummies: &[RowAddr],
+        periods: u32,
+    ) -> Result<(), DramError> {
+        if dummies.is_empty() {
+            return Ok(());
+        }
+        let timings = self.module.timings();
+        let refs_per_period = timings.refs_per_64ms();
+        let budget = timings.max_hammers_per_refi();
+        let per_dummy = (budget / dummies.len() as u64).max(1);
+        let idle = timings.t_refi.saturating_sub(
+            timings.t_rfc + timings.t_rc() * (per_dummy * dummies.len() as u64),
+        );
+        for _ in 0..periods {
+            for _ in 0..refs_per_period {
+                for &dummy in dummies {
+                    self.module.hammer(bank, dummy, per_dummy)?;
+                }
+                self.module.refresh();
+                self.module.advance(idle);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_sim::ModuleConfig;
+
+    fn controller() -> MemoryController {
+        MemoryController::new(Module::new(ModuleConfig::small_test(), 3))
+    }
+
+    #[test]
+    fn spec_constructors() {
+        let s = HammerSpec::single_sided(RowAddr::new(5), 100);
+        assert_eq!(s.total_hammers(), 100);
+        assert_eq!(s.mode, HammerMode::Cascaded);
+        let d = HammerSpec::double_sided(RowAddr::new(5), 100);
+        assert_eq!(d.aggressors, vec![(RowAddr::new(4), 100), (RowAddr::new(6), 100)]);
+        assert_eq!(d.total_hammers(), 200);
+        assert_eq!(d.mode, HammerMode::Interleaved);
+        let c = d.with_mode(HammerMode::Cascaded);
+        assert_eq!(c.mode, HammerMode::Cascaded);
+    }
+
+    #[test]
+    fn double_sided_hammer_flips_victim() {
+        let mut mc = controller();
+        let bank = Bank::new(0);
+        let victim = RowAddr::new(200);
+        mc.write_row(bank, victim, DataPattern::Ones).unwrap();
+        mc.hammer(bank, &HammerSpec::double_sided(victim, 5_000)).unwrap();
+        assert!(!mc.read_row(bank, victim).unwrap().is_clean());
+    }
+
+    #[test]
+    fn interleaved_beats_cascaded() {
+        let flips = |mode| {
+            let mut mc = controller();
+            let bank = Bank::new(0);
+            let victim = RowAddr::new(200);
+            mc.write_row(bank, victim, DataPattern::Ones).unwrap();
+            let spec = HammerSpec::double_sided(victim, 3_000).with_mode(mode);
+            mc.hammer(bank, &spec).unwrap();
+            mc.read_row(bank, victim).unwrap().flip_count()
+        };
+        assert!(flips(HammerMode::Interleaved) > flips(HammerMode::Cascaded));
+    }
+
+    #[test]
+    fn many_sided_interleaved_hammering() {
+        let mut mc = controller();
+        let bank = Bank::new(0);
+        let victim = RowAddr::new(200);
+        mc.write_row(bank, victim, DataPattern::Ones).unwrap();
+        // Three aggressors with distinct counts exercise the round-robin
+        // path.
+        let spec = HammerSpec {
+            aggressors: vec![
+                (victim.minus(1), 3_000),
+                (victim.plus(1), 2_000),
+                (victim.plus(3), 1_000),
+            ],
+            mode: HammerMode::Interleaved,
+        };
+        mc.hammer(bank, &spec).unwrap();
+        assert!(!mc.read_row(bank, victim).unwrap().is_clean());
+        let acts = mc.module().stats().activations;
+        assert_eq!(acts, 6_000 + 2 /* write + read activate */);
+    }
+
+    #[test]
+    fn wait_with_refresh_preserves_data() {
+        let mut mc = controller();
+        let bank = Bank::new(0);
+        // Find a weak row through the device's introspection.
+        let weak = (0..1024)
+            .map(RowAddr::new)
+            .find(|&r| {
+                let v = mc.module_mut().inspect_row(bank, r);
+                v.min_retention().is_some() && !v.has_vrt()
+            })
+            .expect("test module has weak rows");
+        for pattern in [DataPattern::Ones, DataPattern::Zeros] {
+            mc.write_row(bank, weak, pattern).unwrap();
+            mc.wait_with_refresh(Nanos::from_ms(2_000));
+            assert!(
+                mc.read_row(bank, weak).unwrap().is_clean(),
+                "refreshed rows must never decay"
+            );
+        }
+    }
+
+    #[test]
+    fn wait_no_refresh_lets_rows_decay() {
+        let mut mc = controller();
+        let bank = Bank::new(0);
+        let mut decayed = 0;
+        for r in 0..512 {
+            mc.write_row(bank, RowAddr::new(r), DataPattern::Ones).unwrap();
+        }
+        mc.wait_no_refresh(Nanos::from_ms(10_000));
+        for r in 0..512 {
+            if !mc.read_row(bank, RowAddr::new(r)).unwrap().is_clean() {
+                decayed += 1;
+            }
+        }
+        assert!(decayed > 0);
+    }
+
+    #[test]
+    fn dummy_rows_keep_their_distance() {
+        let mc = controller();
+        let avoid = vec![RowAddr::new(500), RowAddr::new(502)];
+        let dummies = mc.pick_dummy_rows(&avoid, 100, 8);
+        assert_eq!(dummies.len(), 8);
+        for d in &dummies {
+            for a in &avoid {
+                assert!(d.index().abs_diff(a.index()) >= 100);
+            }
+        }
+    }
+
+    #[test]
+    fn refresh_counts_are_forwarded() {
+        let mut mc = controller();
+        mc.refresh(42);
+        assert_eq!(mc.module().ref_count(), 42);
+    }
+
+    #[test]
+    fn reset_trr_storm_runs_within_budget() {
+        let mut mc = controller();
+        let bank = Bank::new(0);
+        let dummies = mc.pick_dummy_rows(&[], 0, 16);
+        let t0 = mc.now();
+        mc.reset_trr_state(bank, &dummies, 1).unwrap();
+        let elapsed = mc.now() - t0;
+        // One nominal refresh period of REFs, paced at tREFI
+        // (8205 × 7.8 µs ≈ 64 ms).
+        assert!(
+            elapsed >= Nanos::from_ms(63) && elapsed < Nanos::from_ms(72),
+            "storm took {elapsed}"
+        );
+    }
+}

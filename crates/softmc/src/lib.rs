@@ -1,0 +1,47 @@
+//! A SoftMC-style command-level DDR4 memory controller for the simulated
+//! device.
+//!
+//! The paper implements Row Scout and TRR Analyzer on SoftMC (Hassan et
+//! al., HPCA 2017), an FPGA platform that can issue individual DDR
+//! commands at precisely controlled times — the capability §3.3 calls out
+//! as the reason commodity CPUs cannot run these experiments. This crate
+//! provides the same contract against a [`dram_sim::Module`]:
+//!
+//! * a [`Program`] of DDR [`Instruction`]s executed back-to-back, the
+//!   moral equivalent of a SoftMC program;
+//! * a [`MemoryController`] with higher-level building blocks — paced
+//!   refresh, hammer specifications with interleaved/cascaded modes
+//!   (§5.2), dummy-row selection, and the TRR-state reset storm
+//!   (Requirement 4 of §5.1).
+//!
+//! Auto-refresh is *off* by default: the whole methodology depends on the
+//! controller deciding exactly when `REF` commands are issued.
+//!
+//! # Example
+//!
+//! ```
+//! use dram_sim::{Module, ModuleConfig, DataPattern, Bank, RowAddr, Nanos};
+//! use softmc::{MemoryController, HammerSpec, HammerMode};
+//!
+//! # fn main() -> Result<(), dram_sim::DramError> {
+//! let mut mc = MemoryController::new(Module::new(ModuleConfig::small_test(), 3));
+//! let bank = Bank::new(0);
+//! let victim = RowAddr::new(300);
+//! mc.write_row(bank, victim, DataPattern::Ones)?;
+//!
+//! let spec = HammerSpec::double_sided(victim, 5_000);
+//! mc.hammer(bank, &spec)?;
+//!
+//! let readout = mc.read_row(bank, victim)?;
+//! assert!(!readout.is_clean(), "double-sided hammering flips the victim");
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod controller;
+pub mod program;
+pub mod trace;
+
+pub use controller::{HammerMode, HammerSpec, MemoryController};
+pub use program::{Instruction, Program, ProgramOutput};
+pub use trace::{CommandTrace, TraceCommand, TraceEntry};

@@ -1,0 +1,269 @@
+//! SoftMC-style DDR command programs.
+//!
+//! SoftMC exposes DRAM testing as small programs of raw DDR instructions
+//! that the FPGA replays with cycle accuracy. This module mirrors that
+//! interface: a [`Program`] is a list of [`Instruction`]s executed
+//! back-to-back against the device, collecting tagged row readouts.
+//!
+//! The higher-level [`crate::MemoryController`] methods cover the common
+//! experiment shapes; programs are the faithful escape hatch for
+//! arbitrary command sequences (and what an eventual port back to real
+//! SoftMC hardware would serialize).
+
+use dram_sim::{Bank, DataPattern, DramError, Module, Nanos, RowAddr, RowReadout};
+
+/// One DDR-level instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instruction {
+    /// Open a row.
+    Act { bank: Bank, row: RowAddr },
+    /// Close the open row.
+    Pre { bank: Bank },
+    /// Write a full-row pattern into the open row.
+    WriteRow { bank: Bank, pattern: DataPattern },
+    /// Read the open row back; the readout is returned under `tag`.
+    ReadRow { bank: Bank, tag: u32 },
+    /// Issue one refresh command.
+    Ref,
+    /// Let time pass with no commands.
+    Wait { duration: Nanos },
+    /// `count` back-to-back ACT/PRE cycles of one row (a hammer loop —
+    /// SoftMC expresses this as an instruction loop; we keep it as one
+    /// batched instruction).
+    Hammer { bank: Bank, row: RowAddr, count: u64 },
+    /// `pairs` alternating ACT/PRE cycles of two rows.
+    HammerPair { bank: Bank, first: RowAddr, second: RowAddr, pairs: u64 },
+}
+
+/// A sequence of instructions, built incrementally.
+///
+/// # Example
+///
+/// ```
+/// use dram_sim::{Module, ModuleConfig, DataPattern, Bank, RowAddr, Nanos};
+/// use softmc::Program;
+///
+/// # fn main() -> Result<(), dram_sim::DramError> {
+/// let mut module = Module::new(ModuleConfig::small_test(), 3);
+/// let bank = Bank::new(0);
+/// let out = Program::new()
+///     .act(bank, RowAddr::new(7))
+///     .write_row(bank, DataPattern::Ones)
+///     .pre(bank)
+///     .wait(Nanos::from_ms(1))
+///     .act(bank, RowAddr::new(7))
+///     .read_row(bank, 0)
+///     .pre(bank)
+///     .run(&mut module)?;
+/// assert!(out.readout(0).unwrap().is_clean());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    instructions: Vec<Instruction>,
+}
+
+impl Program {
+    /// An empty program.
+    pub fn new() -> Self {
+        Program::default()
+    }
+
+    /// Appends a raw instruction.
+    pub fn push(&mut self, instruction: Instruction) -> &mut Self {
+        self.instructions.push(instruction);
+        self
+    }
+
+    /// The instructions accumulated so far.
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instructions
+    }
+
+    /// Appends an `ACT`.
+    pub fn act(mut self, bank: Bank, row: RowAddr) -> Self {
+        self.instructions.push(Instruction::Act { bank, row });
+        self
+    }
+
+    /// Appends a `PRE`.
+    pub fn pre(mut self, bank: Bank) -> Self {
+        self.instructions.push(Instruction::Pre { bank });
+        self
+    }
+
+    /// Appends a full-row write to the open row.
+    pub fn write_row(mut self, bank: Bank, pattern: DataPattern) -> Self {
+        self.instructions.push(Instruction::WriteRow { bank, pattern });
+        self
+    }
+
+    /// Appends a full-row read of the open row, tagged for retrieval.
+    pub fn read_row(mut self, bank: Bank, tag: u32) -> Self {
+        self.instructions.push(Instruction::ReadRow { bank, tag });
+        self
+    }
+
+    /// Appends one `REF`.
+    pub fn refresh(mut self) -> Self {
+        self.instructions.push(Instruction::Ref);
+        self
+    }
+
+    /// Appends `count` `REF`s.
+    pub fn refresh_n(mut self, count: u64) -> Self {
+        for _ in 0..count {
+            self.instructions.push(Instruction::Ref);
+        }
+        self
+    }
+
+    /// Appends an idle wait.
+    pub fn wait(mut self, duration: Nanos) -> Self {
+        self.instructions.push(Instruction::Wait { duration });
+        self
+    }
+
+    /// Appends a hammer loop.
+    pub fn hammer(mut self, bank: Bank, row: RowAddr, count: u64) -> Self {
+        self.instructions.push(Instruction::Hammer { bank, row, count });
+        self
+    }
+
+    /// Appends an interleaved two-row hammer loop.
+    pub fn hammer_pair(mut self, bank: Bank, first: RowAddr, second: RowAddr, pairs: u64) -> Self {
+        self.instructions.push(Instruction::HammerPair { bank, first, second, pairs });
+        self
+    }
+
+    /// Executes the program against a module.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first protocol/addressing error, leaving the module
+    /// in whatever state the executed prefix produced (as real hardware
+    /// would).
+    pub fn run(&self, module: &mut Module) -> Result<ProgramOutput, DramError> {
+        let mut readouts = Vec::new();
+        for instruction in &self.instructions {
+            match instruction {
+                Instruction::Act { bank, row } => module.activate(*bank, *row)?,
+                Instruction::Pre { bank } => module.precharge(*bank)?,
+                Instruction::WriteRow { bank, pattern } => {
+                    module.write_open_row(*bank, pattern.clone())?;
+                }
+                Instruction::ReadRow { bank, tag } => {
+                    readouts.push((*tag, module.read_open_row(*bank)?));
+                }
+                Instruction::Ref => module.refresh(),
+                Instruction::Wait { duration } => module.advance(*duration),
+                Instruction::Hammer { bank, row, count } => {
+                    module.hammer(*bank, *row, *count)?;
+                }
+                Instruction::HammerPair { bank, first, second, pairs } => {
+                    module.hammer_pair(*bank, *first, *second, *pairs)?;
+                }
+            }
+        }
+        Ok(ProgramOutput { readouts })
+    }
+}
+
+/// Results collected while running a [`Program`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgramOutput {
+    readouts: Vec<(u32, RowReadout)>,
+}
+
+impl ProgramOutput {
+    /// The first readout recorded under `tag`.
+    pub fn readout(&self, tag: u32) -> Option<&RowReadout> {
+        self.readouts.iter().find(|(t, _)| *t == tag).map(|(_, r)| r)
+    }
+
+    /// All readouts, in program order.
+    pub fn readouts(&self) -> &[(u32, RowReadout)] {
+        &self.readouts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_sim::ModuleConfig;
+
+    fn module() -> Module {
+        Module::new(ModuleConfig::small_test(), 3)
+    }
+
+    #[test]
+    fn write_wait_read_roundtrip() {
+        let mut m = module();
+        let bank = Bank::new(0);
+        let out = Program::new()
+            .act(bank, RowAddr::new(9))
+            .write_row(bank, DataPattern::Checkerboard)
+            .pre(bank)
+            .act(bank, RowAddr::new(9))
+            .read_row(bank, 7)
+            .pre(bank)
+            .run(&mut m)
+            .unwrap();
+        assert!(out.readout(7).unwrap().is_clean());
+        assert!(out.readout(8).is_none());
+        assert_eq!(out.readouts().len(), 1);
+    }
+
+    #[test]
+    fn hammer_program_flips_victim() {
+        let mut m = module();
+        let bank = Bank::new(0);
+        let victim = RowAddr::new(100);
+        let out = Program::new()
+            .act(bank, victim)
+            .write_row(bank, DataPattern::Ones)
+            .pre(bank)
+            .hammer_pair(bank, victim.minus(1), victim.plus(1), 5_000)
+            .act(bank, victim)
+            .read_row(bank, 0)
+            .pre(bank)
+            .run(&mut m)
+            .unwrap();
+        assert!(!out.readout(0).unwrap().is_clean());
+    }
+
+    #[test]
+    fn refresh_and_wait_instructions_advance_state() {
+        let mut m = module();
+        let t0 = m.now();
+        Program::new()
+            .refresh_n(3)
+            .wait(Nanos::from_us(10))
+            .run(&mut m)
+            .unwrap();
+        assert_eq!(m.ref_count(), 3);
+        assert_eq!(m.now() - t0, m.timings().t_rfc * 3 + Nanos::from_us(10));
+    }
+
+    #[test]
+    fn errors_abort_mid_program() {
+        let mut m = module();
+        let bank = Bank::new(0);
+        let err = Program::new()
+            .act(bank, RowAddr::new(1))
+            .act(bank, RowAddr::new(2)) // bank already open
+            .run(&mut m)
+            .unwrap_err();
+        assert!(matches!(err, DramError::BankAlreadyOpen { .. }));
+        // The prefix executed: the bank is still open.
+        assert!(m.precharge(bank).is_ok());
+    }
+
+    #[test]
+    fn push_and_inspect() {
+        let mut p = Program::new();
+        p.push(Instruction::Ref);
+        assert_eq!(p.instructions().len(), 1);
+    }
+}

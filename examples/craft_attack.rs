@@ -1,0 +1,47 @@
+//! §7: baselines vs the U-TRR-derived custom patterns. Conventional
+//! single-/double-/many-sided hammering achieves nothing against the
+//! planted TRR engines (footnote 18), while each vendor's custom pattern
+//! flips bits across the bank.
+//!
+//! ```sh
+//! cargo run --release --example craft_attack
+//! ```
+
+use utrr::attacks::baseline::{DoubleSided, ManySided, SingleSided};
+use utrr::attacks::custom;
+use utrr::attacks::eval::{sweep_bank, EvalConfig};
+use utrr::attacks::AccessPattern;
+use utrr::utrr_modules::by_id;
+
+fn main() {
+    let config = EvalConfig::quick(32);
+    println!(
+        "{:<8} {:<10} {:<18} {:>12} {:>14} {:>16}",
+        "module", "version", "pattern", "vulnerable", "max flips/row", "flips/word max"
+    );
+    for id in ["A5", "B0", "C9"] {
+        let spec = by_id(id).expect("catalog module");
+        let custom_pattern = custom::pattern_for(&spec);
+        let patterns: Vec<(&str, Box<dyn AccessPattern>)> = vec![
+            ("single-sided", Box::new(SingleSided::max_rate())),
+            ("double-sided", Box::new(DoubleSided::max_rate())),
+            ("many-sided (9)", Box::new(ManySided::nine_sided())),
+            ("custom (U-TRR)", custom_pattern),
+        ];
+        for (label, pattern) in &patterns {
+            let sweep = sweep_bank(&spec, pattern.as_ref(), &config);
+            println!(
+                "{:<8} {:<10} {:<18} {:>11.1}% {:>14} {:>16}",
+                spec.id,
+                spec.trr_version,
+                label,
+                sweep.vulnerable_pct(),
+                sweep.max_flips_per_row(),
+                sweep.max_flips_per_dataword(),
+            );
+        }
+        println!();
+    }
+    println!("(paper §7.3: the custom patterns flip bits on all 45 modules; conventional");
+    println!(" patterns flip none — the TRR engines absorb them.)");
+}

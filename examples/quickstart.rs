@@ -1,0 +1,63 @@
+//! Quickstart: profile retention-weak rows with Row Scout and use the
+//! retention side channel to discover which `REF` commands perform
+//! TRR-induced refreshes on a simulated DDR4 module.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use dram_sim::Bank;
+use softmc::MemoryController;
+use utrr::utrr_core::reverse::{discover_trr_ref_ratio, ReverseOptions};
+use utrr::utrr_core::schedule::learn_group_schedules;
+use utrr::utrr_core::{RowGroupLayout, RowScout, ScoutConfig, TrrAnalyzer};
+use utrr::utrr_modules::by_id;
+
+fn main() {
+    // 1. Pick a module from the paper's Table 1 and build it (scaled to
+    //    2048 rows/bank for speed — the TRR engine is the real thing).
+    let spec = by_id("A5").expect("A5 is in the catalog");
+    println!("module {}: vendor {}, TRR version {} (ground truth hidden from U-TRR)", spec.id, spec.vendor, spec.trr_version);
+    let mut mc = MemoryController::new(spec.build_scaled(2_048, 42));
+    let bank = Bank::new(0);
+
+    // 2. Row Scout: find row groups in the R-A-R layout (two
+    //    retention-profiled rows sandwiching an aggressor position) with
+    //    matching, consistent retention times.
+    let scout = RowScout::new(ScoutConfig::new(
+        bank,
+        2_048,
+        RowGroupLayout::single_aggressor_pair(),
+        5,
+    ));
+    let groups = scout.scan(&mut mc).expect("the bank has profilable rows");
+    for g in &groups {
+        println!(
+            "row group at {}: rows {:?}, retention bucket {}",
+            g.base,
+            g.rows.iter().map(|r| r.row.index()).collect::<Vec<_>>(),
+            g.retention
+        );
+    }
+
+    // 3. Learn each profiled row's regular-refresh schedule so periodic
+    //    refreshes are never mistaken for TRR activity.
+    let mut analyzer = TrrAnalyzer::new();
+    for g in &groups {
+        learn_group_schedules(&mut mc, bank, g, &mut analyzer).expect("schedules learnable");
+    }
+    let schedule = analyzer.schedule(groups[0].rows[0].row).expect("just learned");
+    println!(
+        "regular refresh: every {} REFs (the paper's Observation A8 finds 3758 on vendor A)",
+        schedule.period
+    );
+
+    // 4. TRR Analyzer: hammer the aggressors, issue one REF per
+    //    iteration, and watch which REFs rescue the victims — the
+    //    TRR-to-REF ratio.
+    let opts = ReverseOptions::default();
+    let ratio = discover_trr_ref_ratio(&mut mc, &analyzer, bank, &groups, &opts)
+        .expect("experiments run")
+        .expect("this module has TRR");
+    println!("TRR-capable REF every {ratio} REFs (Observation A1: every 9th)");
+}

@@ -1,0 +1,25 @@
+//! Facade crate for the U-TRR reproduction (Hassan et al., MICRO 2021).
+//!
+//! Re-exports every subsystem so examples and downstream users can depend
+//! on a single crate:
+//!
+//! * [`dram_sim`] — the simulated DDR4 device (retention, VRT, RowHammer
+//!   physics, address scrambling);
+//! * [`trr`] — ground-truth in-DRAM TRR engines (counter-, sampler-, and
+//!   window-based);
+//! * [`softmc`] — the SoftMC-style command-level memory controller;
+//! * [`utrr_core`] — the paper's contribution: Row Scout, TRR Analyzer,
+//!   and the reverse-engineering experiment suite;
+//! * [`utrr_modules`] — the Table-1 catalog of 45 simulated DIMMs;
+//! * [`attacks`] — baseline and custom RowHammer access patterns plus the
+//!   §7 evaluation harness;
+//! * [`ecc`] — SECDED / Chipkill / Reed-Solomon models for the §7.4
+//!   analysis.
+
+pub use attacks;
+pub use dram_sim;
+pub use ecc;
+pub use softmc;
+pub use trr;
+pub use utrr_core;
+pub use utrr_modules;
