@@ -76,9 +76,7 @@ impl AccessPattern for DoubleSided {
     ) -> Result<(), DramError> {
         match target.aggressors[..] {
             [a] => mc.module_mut().hammer(target.bank, a, self.hammers_per_aggressor),
-            [a, b] => {
-                mc.module_mut().hammer_pair(target.bank, a, b, self.hammers_per_aggressor)
-            }
+            [a, b] => mc.module_mut().hammer_pair(target.bank, a, b, self.hammers_per_aggressor),
             _ => Ok(()),
         }
     }
@@ -161,12 +159,8 @@ mod tests {
 
     fn quick_eval(module: Module, pattern: &dyn AccessPattern) -> f64 {
         let positions: Vec<PhysRow> = (0..8).map(|i| PhysRow::new(200 + i * 60)).collect();
-        let config = EvalConfig {
-            positions,
-            windows: 2,
-            bank: Bank::new(0),
-            ..EvalConfig::quick(8)
-        };
+        let config =
+            EvalConfig { positions, windows: 2, bank: Bank::new(0), ..EvalConfig::quick(8) };
         sweep_bank_module(module, pattern, &config).vulnerable_pct()
     }
 

@@ -230,8 +230,7 @@ impl AccessPattern for VendorCPattern {
         // `interval % ratio` counts intervals since the last one.
         let pos = interval % self.ratio;
         let consumed = pos * INTERVAL_BUDGET;
-        let dummy_now =
-            self.dummy_acts.saturating_sub(consumed).min(INTERVAL_BUDGET);
+        let dummy_now = self.dummy_acts.saturating_sub(consumed).min(INTERVAL_BUDGET);
         if dummy_now > 0 {
             let Some(&dummy) = target.dummies.first() else {
                 return Ok(()); // bank too small for a safe dummy
@@ -243,11 +242,9 @@ impl AccessPattern for VendorCPattern {
             return Ok(());
         }
         match target.aggressors[..] {
-            [a] => mc.module_mut().hammer(
-                target.bank,
-                a,
-                budget.min(self.hammers_per_interval * 2),
-            )?,
+            [a] => {
+                mc.module_mut().hammer(target.bank, a, budget.min(self.hammers_per_interval * 2))?
+            }
             [a, b] => {
                 let pairs = (budget / 2).min(self.hammers_per_interval);
                 mc.module_mut().hammer_pair(target.bank, a, b, pairs)?;

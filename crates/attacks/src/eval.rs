@@ -7,14 +7,17 @@
 //! builds for quick runs. Full-bank sweeps are a matter of passing every
 //! position.
 
+use std::sync::Arc;
+
 use dram_sim::{Bank, DataPattern, Module, PhysRow};
+use obs::MetricsRegistry;
 use softmc::MemoryController;
 use utrr_modules::ModuleSpec;
 
 use crate::pattern::{AccessPattern, PatternTarget};
 
 /// Evaluation parameters.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct EvalConfig {
     /// Bank under attack.
     pub bank: Bank,
@@ -33,6 +36,24 @@ pub struct EvalConfig {
     pub scaled_rows: Option<u32>,
     /// Seed for module builds from a spec.
     pub seed: u64,
+    /// Metrics registry attached to the swept module, so sweeps running
+    /// on internally built modules still land in one run artifact.
+    /// `None` leaves the module's private registry in place.
+    pub registry: Option<Arc<MetricsRegistry>>,
+}
+
+// The registry is plumbing, not an evaluation parameter: two configs
+// that differ only in instrumentation describe the same sweep.
+impl PartialEq for EvalConfig {
+    fn eq(&self, other: &Self) -> bool {
+        self.bank == other.bank
+            && self.windows == other.windows
+            && self.victim_pattern == other.victim_pattern
+            && self.positions == other.positions
+            && self.sample_count == other.sample_count
+            && self.scaled_rows == other.scaled_rows
+            && self.seed == other.seed
+    }
 }
 
 impl EvalConfig {
@@ -46,6 +67,7 @@ impl EvalConfig {
             sample_count,
             scaled_rows: Some(2_048),
             seed: 77,
+            registry: None,
         }
     }
 
@@ -161,16 +183,13 @@ pub fn evaluate_position(
     for _ in 0..intervals {
         let started = mc.now();
         let interval = mc.module().ref_count();
-        pattern
-            .run_interval(mc, &target, interval)
-            .expect("patterns stay within protocol rules");
+        pattern.run_interval(mc, &target, interval).expect("patterns stay within protocol rules");
         mc.module_mut().refresh();
         let elapsed = mc.now() - started;
         mc.module_mut().advance(timings.t_refi.saturating_sub(elapsed));
     }
 
-    let readout =
-        mc.read_row(config.bank, target.victim).expect("victim address is in range");
+    let readout = mc.read_row(config.bank, target.victim).expect("victim address is in range");
     let mut hist: std::collections::BTreeMap<u32, u32> = std::collections::BTreeMap::new();
     for (_, k) in readout.flips_per_dataword() {
         *hist.entry(k).or_default() += 1;
@@ -183,28 +202,47 @@ pub fn evaluate_position(
 }
 
 /// Runs a sweep over a module built from its Table-1 spec.
-pub fn sweep_bank(spec: &ModuleSpec, pattern: &dyn AccessPattern, config: &EvalConfig) -> BankSweep {
+pub fn sweep_bank(
+    spec: &ModuleSpec,
+    pattern: &dyn AccessPattern,
+    config: &EvalConfig,
+) -> BankSweep {
     let rows = config.scaled_rows.unwrap_or_else(|| spec.rows_per_bank());
     let module = spec.build_scaled(rows, config.seed);
     sweep_bank_module(module, pattern, config)
 }
 
 /// Runs a sweep over an already-built module.
+///
+/// When [`EvalConfig::registry`] is set it is attached to the module
+/// first, and the sweep runs under an `attacks.eval.sweep` span.
 pub fn sweep_bank_module(
-    module: Module,
+    mut module: Module,
     pattern: &dyn AccessPattern,
     config: &EvalConfig,
 ) -> BankSweep {
+    if let Some(registry) = &config.registry {
+        module.attach_registry(Arc::clone(registry));
+    }
     let mut mc = MemoryController::new(module);
     let positions: Vec<PhysRow> = if config.positions.is_empty() {
         sample_positions(mc.module().geometry().rows_per_bank, config.sample_count)
     } else {
         config.positions.clone()
     };
+    let registry = Arc::clone(mc.registry());
+    let span = obs::span!(
+        registry,
+        "attacks.eval.sweep",
+        mc.now().as_ns(),
+        positions = positions.len() as u64,
+        windows = config.windows as u64
+    );
     let results = positions
         .into_iter()
         .map(|victim| evaluate_position(&mut mc, pattern, config, victim))
         .collect();
+    span.finish(mc.now().as_ns());
     BankSweep {
         pattern: pattern.name().to_string(),
         hammers_per_aggressor_per_ref: pattern.hammers_per_aggressor_per_ref(),
@@ -254,8 +292,7 @@ mod tests {
         assert!(result.flips > 0, "unprotected module must flip");
         let hist_total: u32 = result.dataword_hist.iter().map(|&(_, n)| n).sum();
         assert!(hist_total > 0);
-        let flips_from_hist: u32 =
-            result.dataword_hist.iter().map(|&(k, n)| k * n).sum();
+        let flips_from_hist: u32 = result.dataword_hist.iter().map(|&(k, n)| k * n).sum();
         assert_eq!(flips_from_hist, result.flips, "histogram accounts for every flip");
     }
 

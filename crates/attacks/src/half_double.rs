@@ -57,9 +57,7 @@ impl AccessPattern for HalfDouble {
         target
             .aggressors
             .iter()
-            .flat_map(|&a| {
-                [a.index().checked_sub(1).map(dram_sim::RowAddr::new), Some(a.plus(1))]
-            })
+            .flat_map(|&a| [a.index().checked_sub(1).map(dram_sim::RowAddr::new), Some(a.plus(1))])
             .flatten()
             .filter(|r| r.index().abs_diff(target.victim.index()) == 2)
             .collect()
@@ -139,8 +137,7 @@ mod tests {
         // far rows dominate the register; the victim is never refreshed.
         let spec = by_id("B13").unwrap(); // low HC_first keeps the test fast
         let config = spec.build_scaled(2_048, 5).config().clone();
-        let module =
-            Module::with_engine(config, Box::new(SamplerTrr::b_trr1(spec.banks, 9)), 5);
+        let module = Module::with_engine(config, Box::new(SamplerTrr::b_trr1(spec.banks, 9)), 5);
         let pct = vulnerable_pct(module);
         assert!(pct > 60.0, "±1 sampler TRR must fall to Half-Double, got {pct}%");
     }

@@ -14,9 +14,7 @@ fn bench_secded(c: &mut Criterion) {
     let mut g = c.benchmark_group("ecc/secded");
     g.bench_function("encode", |b| b.iter(|| code.encode(std::hint::black_box(data))));
     g.bench_function("decode_clean", |b| b.iter(|| code.decode(std::hint::black_box(clean))));
-    g.bench_function("decode_correct1", |b| {
-        b.iter(|| code.decode(std::hint::black_box(flipped)))
-    });
+    g.bench_function("decode_correct1", |b| b.iter(|| code.decode(std::hint::black_box(flipped))));
     g.finish();
 }
 
@@ -31,9 +29,7 @@ fn bench_rs(c: &mut Criterion) {
     let mut g = c.benchmark_group("ecc/rs_8_plus_7");
     g.bench_function("encode", |b| b.iter(|| code.encode(std::hint::black_box(&data))));
     g.bench_function("decode_clean", |b| b.iter(|| code.decode(std::hint::black_box(&clean))));
-    g.bench_function("decode_correct3", |b| {
-        b.iter(|| code.decode(std::hint::black_box(&errored)))
-    });
+    g.bench_function("decode_correct3", |b| b.iter(|| code.decode(std::hint::black_box(&errored))));
     g.finish();
 }
 

@@ -19,12 +19,8 @@ fn bench_rowscout(c: &mut Criterion) {
         b.iter_batched_ref(
             controller,
             |mc| {
-                let mut cfg = ScoutConfig::new(
-                    Bank::new(0),
-                    512,
-                    RowGroupLayout::single_aggressor_pair(),
-                    1,
-                );
+                let mut cfg =
+                    ScoutConfig::new(Bank::new(0), 512, RowGroupLayout::single_aggressor_pair(), 1);
                 cfg.consistency_checks = 25;
                 RowScout::new(cfg).scan(mc).unwrap()
             },
@@ -41,12 +37,8 @@ fn bench_schedule_learning(c: &mut Criterion) {
         b.iter_batched_ref(
             || {
                 let mut mc = controller();
-                let mut cfg = ScoutConfig::new(
-                    Bank::new(0),
-                    512,
-                    RowGroupLayout::single_aggressor_pair(),
-                    1,
-                );
+                let mut cfg =
+                    ScoutConfig::new(Bank::new(0), 512, RowGroupLayout::single_aggressor_pair(), 1);
                 cfg.consistency_checks = 25;
                 let group = RowScout::new(cfg).scan(&mut mc).unwrap().remove(0);
                 (mc, group)
@@ -64,12 +56,8 @@ fn bench_experiment(c: &mut Criterion) {
         b.iter_batched_ref(
             || {
                 let mut mc = controller();
-                let mut cfg = ScoutConfig::new(
-                    Bank::new(0),
-                    512,
-                    RowGroupLayout::single_aggressor_pair(),
-                    1,
-                );
+                let mut cfg =
+                    ScoutConfig::new(Bank::new(0), 512, RowGroupLayout::single_aggressor_pair(), 1);
                 cfg.consistency_checks = 25;
                 let group = RowScout::new(cfg).scan(&mut mc).unwrap().remove(0);
                 let exp = Experiment::on_group(Bank::new(0), &group)

@@ -3,24 +3,34 @@
 //! and shows how a paper-relevant observable changes — evidence that the
 //! mechanism is load-bearing rather than decorative.
 //!
-//! Usage: ablations [--rows N] [--samples N]
+//! Usage: ablations [--rows N] [--samples N] [--metrics-out PATH]
+
+use std::sync::Arc;
 
 use attacks::baseline::DoubleSided;
 use attacks::custom::VendorAPattern;
 use attacks::eval::{sweep_bank_module, EvalConfig};
 use dram_sim::{Bank, DataPattern, Module, RowAddr};
-use utrr_bench::arg_value;
+use obs::MetricsRegistry;
+use utrr_bench::{arg_value, emit_metrics, metrics_out_path, run_registry};
 use utrr_modules::by_id;
 
-fn config(samples: u32, rows: u32) -> EvalConfig {
-    EvalConfig { sample_count: samples, scaled_rows: Some(rows), ..EvalConfig::quick(samples) }
+fn config(samples: u32, rows: u32, registry: &Arc<MetricsRegistry>) -> EvalConfig {
+    EvalConfig {
+        sample_count: samples,
+        scaled_rows: Some(rows),
+        registry: Some(Arc::clone(registry)),
+        ..EvalConfig::quick(samples)
+    }
 }
 
 /// Ablation 1 — same-row discount: without it, cascaded hammering is as
 /// disruptive as interleaved, erasing the §5.2 asymmetry.
 fn ablate_same_row_discount(spec: &utrr_modules::ModuleSpec, rows: u32) {
     println!("## Ablation: same-row activation discount (§5.2 asymmetry)");
-    for (label, discount) in [("with discount (default)", 0.5f64), ("ablated (discount = 1.0)", 1.0)] {
+    for (label, discount) in
+        [("with discount (default)", 0.5f64), ("ablated (discount = 1.0)", 1.0)]
+    {
         let mut module_cfg_flips = Vec::new();
         for interleaved in [true, false] {
             let mut module = {
@@ -38,9 +48,7 @@ fn ablate_same_row_discount(spec: &utrr_modules::ModuleSpec, rows: u32) {
                 module.write_row(bank, victim, DataPattern::Ones).expect("in range");
                 let n = spec.hc_first * 3;
                 if interleaved {
-                    module
-                        .hammer_pair(bank, victim.minus(1), victim.plus(1), n)
-                        .expect("in range");
+                    module.hammer_pair(bank, victim.minus(1), victim.plus(1), n).expect("in range");
                 } else {
                     module.hammer(bank, victim.minus(1), n).expect("in range");
                     module.hammer(bank, victim.plus(1), n).expect("in range");
@@ -62,7 +70,9 @@ fn ablate_same_row_discount(spec: &utrr_modules::ModuleSpec, rows: u32) {
 /// unobservable.
 fn ablate_blast_radius(spec: &utrr_modules::ModuleSpec, rows: u32) {
     println!("## Ablation: distance-2 disturbance weight (Observation A2 observability)");
-    for (label, weight) in [("with radius-2 (default 0.25)", 0.25f64), ("ablated (weight = 0)", 0.0)] {
+    for (label, weight) in
+        [("with radius-2 (default 0.25)", 0.25f64), ("ablated (weight = 0)", 0.0)]
+    {
         let mut config = spec.build_scaled(rows, 5).config().clone();
         config.physics.radius2_weight = weight;
         let mut module = Module::new(config, 5);
@@ -83,13 +93,24 @@ fn ablate_blast_radius(spec: &utrr_modules::ModuleSpec, rows: u32) {
 
 /// Ablation 3 — dummy-row pressure in the vendor-A pattern: the attack
 /// collapses without enough dummy insertions to flush the 16-entry LRU.
-fn ablate_dummy_pressure(spec: &utrr_modules::ModuleSpec, samples: u32, rows: u32) {
+fn ablate_dummy_pressure(
+    spec: &utrr_modules::ModuleSpec,
+    samples: u32,
+    rows: u32,
+    registry: &Arc<MetricsRegistry>,
+) {
     println!("## Ablation: dummy-row pressure in the vendor-A custom pattern (Fig. 8 trade-off)");
-    let cfg = config(samples, rows);
+    let cfg = config(samples, rows, registry);
     for (label, pattern) in [
         ("paper optimum (24 hammers + 16 dummies)", VendorAPattern::paper_optimum()),
-        ("no dummies at all", VendorAPattern { aggressor_hammers: 24, dummy_rows: 0, dummy_hammers: 0 }),
-        ("half the dummies (8)", VendorAPattern { aggressor_hammers: 24, dummy_rows: 8, dummy_hammers: 6 }),
+        (
+            "no dummies at all",
+            VendorAPattern { aggressor_hammers: 24, dummy_rows: 0, dummy_hammers: 0 },
+        ),
+        (
+            "half the dummies (8)",
+            VendorAPattern { aggressor_hammers: 24, dummy_rows: 8, dummy_hammers: 6 },
+        ),
         ("over-hammered aggressors (70)", VendorAPattern::with_aggressor_hammers(70)),
     ] {
         let sweep = sweep_bank_module(spec.build_scaled(rows, 5), &pattern, &cfg);
@@ -99,14 +120,21 @@ fn ablate_dummy_pressure(spec: &utrr_modules::ModuleSpec, samples: u32, rows: u3
             sweep.max_flips_per_row()
         );
     }
-    println!("  → fewer than 16 dummy insertions leave the aggressors resident in the LRU table.\n");
+    println!(
+        "  → fewer than 16 dummy insertions leave the aggressors resident in the LRU table.\n"
+    );
 }
 
 /// Ablation 4 — the baseline contrast: TRR stops double-sided hammering
 /// entirely; removing TRR restores it.
-fn ablate_trr_presence(spec: &utrr_modules::ModuleSpec, samples: u32, rows: u32) {
+fn ablate_trr_presence(
+    spec: &utrr_modules::ModuleSpec,
+    samples: u32,
+    rows: u32,
+    registry: &Arc<MetricsRegistry>,
+) {
     println!("## Ablation: TRR presence (footnote 18 baseline contrast)");
-    let cfg = config(samples, rows);
+    let cfg = config(samples, rows, registry);
     let pattern = DoubleSided::max_rate();
     let with_trr = sweep_bank_module(spec.build_scaled(rows, 5), &pattern, &cfg);
     let without = {
@@ -125,12 +153,15 @@ fn ablate_trr_presence(spec: &utrr_modules::ModuleSpec, samples: u32, rows: u32)
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let rows: u32 = arg_value(&args, "--rows").and_then(|v| v.parse().ok()).unwrap_or(2_048);
-    let samples: u32 =
-        arg_value(&args, "--samples").and_then(|v| v.parse().ok()).unwrap_or(24);
+    let samples: u32 = arg_value(&args, "--samples").and_then(|v| v.parse().ok()).unwrap_or(24);
+    let metrics_path = metrics_out_path(&args);
+    let registry = run_registry();
     let spec = by_id("A5").expect("catalog contains A5");
     println!("# Simulator design-choice ablations (module A5 unless noted)\n");
     ablate_same_row_discount(&spec, rows);
     ablate_blast_radius(&spec, rows);
-    ablate_dummy_pressure(&spec, samples, rows);
-    ablate_trr_presence(&spec, samples, rows);
+    ablate_dummy_pressure(&spec, samples, rows, &registry);
+    ablate_trr_presence(&spec, samples, rows, &registry);
+
+    emit_metrics(&registry, metrics_path.as_deref()).expect("metrics artifact is writable");
 }

@@ -4,30 +4,36 @@
 //! codes fare against the measured distributions.
 //!
 //! Usage: repro-fig10 [--rows N] [--samples N] [--windows N]
-//!                    [--modules A5,...] [--ecc]
+//!                    [--modules A5,...] [--ecc] [--metrics-out PATH]
 
 use attacks::eval::EvalConfig;
-use ecc::{analyze, CodeKind};
-use utrr_bench::{arg_flag, arg_value, attack_columns};
+use ecc::{analyze_with_registry, CodeKind};
+use utrr_bench::{
+    arg_flag, arg_value, attack_columns, emit_metrics, metrics_out_path, run_registry,
+};
 use utrr_modules::catalog;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let rows: u32 = arg_value(&args, "--rows").and_then(|v| v.parse().ok()).unwrap_or(2_048);
-    let samples: u32 =
-        arg_value(&args, "--samples").and_then(|v| v.parse().ok()).unwrap_or(48);
+    let samples: u32 = arg_value(&args, "--samples").and_then(|v| v.parse().ok()).unwrap_or(48);
     let windows: u32 = arg_value(&args, "--windows").and_then(|v| v.parse().ok()).unwrap_or(2);
     let filter = arg_value(&args, "--modules");
     let run_ecc = arg_flag(&args, "--ecc");
+    let metrics_path = metrics_out_path(&args);
+    let registry = run_registry();
     let config = EvalConfig {
         sample_count: samples,
         windows,
         scaled_rows: Some(rows),
+        registry: Some(std::sync::Arc::clone(&registry)),
         ..EvalConfig::quick(samples)
     };
 
     println!("# Fig. 10 reproduction — 8-byte datawords by bit-flip count");
-    println!("# ({samples} sampled victim rows per bank, {rows} rows/bank, {windows} refresh windows)");
+    println!(
+        "# ({samples} sampled victim rows per bank, {rows} rows/bank, {windows} refresh windows)"
+    );
     println!();
 
     let mut global_max_flips_per_word = 0u32;
@@ -40,7 +46,12 @@ fn main() {
         let sweep = attack_columns(&spec, &config);
         let hist = sweep.dataword_histogram();
         let counts: Vec<String> = hist.iter().map(|&(k, n)| format!("{k}:{n}")).collect();
-        println!("  {:<7} {:<9} words(flips:count) {}", spec.id, spec.trr_version, counts.join(" "));
+        println!(
+            "  {:<7} {:<9} words(flips:count) {}",
+            spec.id,
+            spec.trr_version,
+            counts.join(" ")
+        );
         global_max_flips_per_word = global_max_flips_per_word.max(sweep.max_flips_per_dataword());
 
         if run_ecc && !hist.is_empty() {
@@ -50,7 +61,7 @@ fn main() {
                 CodeKind::ReedSolomon { parity: 2 },
                 CodeKind::ReedSolomon { parity: 7 },
             ] {
-                let report = analyze(code, &hist, 17);
+                let report = analyze_with_registry(code, &hist, 17, &registry);
                 println!(
                     "          {:<14} corrected {:>8}  detected {:>8}  SILENT {:>6}  {}",
                     code.to_string(),
@@ -71,7 +82,11 @@ fn main() {
         ecc::rs_parity_needed(&[(global_max_flips_per_word, 1)])
     );
     if run_ecc {
-        println!("# §7.4 conclusion check: SECDED/Chipkill are defeated wherever words carry ≥3 flips;");
+        println!(
+            "# §7.4 conclusion check: SECDED/Chipkill are defeated wherever words carry ≥3 flips;"
+        );
         println!("# only the 7-parity Reed-Solomon code protects every measured distribution.");
     }
+
+    emit_metrics(&registry, metrics_path.as_deref()).expect("metrics artifact is writable");
 }

@@ -6,21 +6,26 @@
 //! min..max, `=` spans the inter-quartile range, `#` marks the median.
 //!
 //! Usage: repro-fig8 [--rows N] [--samples N] [--windows N]
+//!                   [--metrics-out PATH]
 
 use attacks::eval::EvalConfig;
-use utrr_bench::{arg_value, boxplot_line, fig8_sweep};
+use utrr_bench::{
+    arg_value, boxplot_line, emit_metrics, fig8_sweep, metrics_out_path, run_registry,
+};
 use utrr_modules::fig8_modules;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let rows: u32 = arg_value(&args, "--rows").and_then(|v| v.parse().ok()).unwrap_or(2_048);
-    let samples: u32 =
-        arg_value(&args, "--samples").and_then(|v| v.parse().ok()).unwrap_or(32);
+    let samples: u32 = arg_value(&args, "--samples").and_then(|v| v.parse().ok()).unwrap_or(32);
     let windows: u32 = arg_value(&args, "--windows").and_then(|v| v.parse().ok()).unwrap_or(2);
+    let metrics_path = metrics_out_path(&args);
+    let registry = run_registry();
     let config = EvalConfig {
         sample_count: samples,
         windows,
         scaled_rows: Some(rows),
+        registry: Some(std::sync::Arc::clone(&registry)),
         ..EvalConfig::quick(samples)
     };
 
@@ -58,4 +63,6 @@ fn main() {
             best.hammers
         );
     }
+
+    emit_metrics(&registry, metrics_path.as_deref()).expect("metrics artifact is writable");
 }

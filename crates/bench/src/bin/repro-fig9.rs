@@ -3,22 +3,25 @@
 //! custom access pattern, for all 45 modules.
 //!
 //! Usage: repro-fig9 [--rows N] [--samples N] [--windows N] [--modules A5,...]
+//!                   [--metrics-out PATH]
 
 use attacks::eval::EvalConfig;
-use utrr_bench::{arg_value, attack_columns};
+use utrr_bench::{arg_value, attack_columns, emit_metrics, metrics_out_path, run_registry};
 use utrr_modules::catalog;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let rows: u32 = arg_value(&args, "--rows").and_then(|v| v.parse().ok()).unwrap_or(2_048);
-    let samples: u32 =
-        arg_value(&args, "--samples").and_then(|v| v.parse().ok()).unwrap_or(48);
+    let samples: u32 = arg_value(&args, "--samples").and_then(|v| v.parse().ok()).unwrap_or(48);
     let windows: u32 = arg_value(&args, "--windows").and_then(|v| v.parse().ok()).unwrap_or(2);
     let filter = arg_value(&args, "--modules");
+    let metrics_path = metrics_out_path(&args);
+    let registry = run_registry();
     let config = EvalConfig {
         sample_count: samples,
         windows,
         scaled_rows: Some(rows),
+        registry: Some(std::sync::Arc::clone(&registry)),
         ..EvalConfig::quick(samples)
     };
 
@@ -56,4 +59,6 @@ fn main() {
     println!(
         "# {fully_vulnerable}/{total} modules above 99% (paper: 21 of 45 above 99.9%); every module shows bit flips"
     );
+
+    emit_metrics(&registry, metrics_path.as_deref()).expect("metrics artifact is writable");
 }

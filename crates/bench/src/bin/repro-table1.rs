@@ -5,7 +5,7 @@
 //!
 //! Usage:
 //!   repro-table1 [--rows N] [--samples N] [--windows N] [--modules A5,B0,...]
-//!                [--per-module-re] [--attack-only]
+//!                [--per-module-re] [--attack-only] [--metrics-out PATH]
 //!
 //! By default the reverse-engineering suite runs once per *TRR version*
 //! (modules sharing a version share their engine, so the findings are
@@ -14,7 +14,10 @@
 use std::collections::HashMap;
 
 use attacks::eval::EvalConfig;
-use utrr_bench::{arg_flag, arg_value, attack_columns, measure_hc_first, reverse_engineer_module};
+use utrr_bench::{
+    arg_flag, arg_value, attack_columns, emit_metrics, measure_hc_first_with, metrics_out_path,
+    reverse_engineer_module_with, run_registry,
+};
 use utrr_core::reverse::DetectionKind;
 use utrr_modules::{catalog, ModuleSpec};
 
@@ -37,12 +40,13 @@ fn main() {
     } else {
         rows
     };
-    let samples: u32 =
-        arg_value(&args, "--samples").and_then(|v| v.parse().ok()).unwrap_or(48);
+    let samples: u32 = arg_value(&args, "--samples").and_then(|v| v.parse().ok()).unwrap_or(48);
     let windows: u32 = arg_value(&args, "--windows").and_then(|v| v.parse().ok()).unwrap_or(2);
     let filter = arg_value(&args, "--modules");
     let per_module_re = arg_flag(&args, "--per-module-re");
     let attack_only = arg_flag(&args, "--attack-only");
+    let metrics_path = metrics_out_path(&args);
+    let registry = run_registry();
 
     let modules: Vec<ModuleSpec> = catalog()
         .into_iter()
@@ -65,11 +69,11 @@ fn main() {
     if !attack_only {
         for spec in &modules {
             let outcome = if per_module_re {
-                reverse_engineer_module(spec, rows, 7)
+                reverse_engineer_module_with(spec, rows, 7, Some(&registry))
             } else {
                 re_cache
                     .entry(spec.trr_version)
-                    .or_insert_with(|| reverse_engineer_module(spec, rows, 7))
+                    .or_insert_with(|| reverse_engineer_module_with(spec, rows, 7, Some(&registry)))
                     .clone()
             };
             println!(
@@ -102,10 +106,11 @@ fn main() {
         sample_count: samples,
         windows,
         scaled_rows: Some(rows),
+        registry: Some(std::sync::Arc::clone(&registry)),
         ..EvalConfig::quick(samples)
     };
     for spec in &modules {
-        let hc = measure_hc_first(spec, rows.min(2_048), 48, 11);
+        let hc = measure_hc_first_with(spec, rows.min(2_048), 48, 11, Some(&registry));
         let sweep = attack_columns(spec, &config);
         println!(
             "| {} | {} ({}) | {:.1}% ({:.1}–{:.1}%) | {:.2} ({:.2}–{:.2}) | {} |",
@@ -121,4 +126,6 @@ fn main() {
             sweep.max_flips_per_dataword(),
         );
     }
+
+    emit_metrics(&registry, metrics_path.as_deref()).expect("metrics artifact is writable");
 }

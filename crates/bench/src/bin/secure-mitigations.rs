@@ -8,6 +8,7 @@
 //! full-budget double-sided hammering.
 //!
 //! Usage: secure-mitigations [--rows N] [--samples N] [--para-prob P]
+//!                           [--metrics-out PATH]
 
 use attacks::baseline::DoubleSided;
 use attacks::custom;
@@ -15,7 +16,7 @@ use attacks::eval::{sweep_bank_module, EvalConfig};
 use attacks::AccessPattern;
 use dram_sim::{MitigationEngine, Module};
 use trr::{Graphene, GrapheneConfig, Para};
-use utrr_bench::arg_value;
+use utrr_bench::{arg_value, emit_metrics, metrics_out_path, run_registry};
 use utrr_modules::{by_id, ModuleSpec};
 
 fn build_with(spec: &ModuleSpec, rows: u32, engine: Box<dyn MitigationEngine>) -> Module {
@@ -26,11 +27,17 @@ fn build_with(spec: &ModuleSpec, rows: u32, engine: Box<dyn MitigationEngine>) -
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let rows: u32 = arg_value(&args, "--rows").and_then(|v| v.parse().ok()).unwrap_or(2_048);
-    let samples: u32 =
-        arg_value(&args, "--samples").and_then(|v| v.parse().ok()).unwrap_or(24);
+    let samples: u32 = arg_value(&args, "--samples").and_then(|v| v.parse().ok()).unwrap_or(24);
     let para_prob: f64 =
         arg_value(&args, "--para-prob").and_then(|v| v.parse().ok()).unwrap_or(0.001);
-    let config = EvalConfig { sample_count: samples, scaled_rows: Some(rows), ..EvalConfig::quick(samples) };
+    let metrics_path = metrics_out_path(&args);
+    let registry = run_registry();
+    let config = EvalConfig {
+        sample_count: samples,
+        scaled_rows: Some(rows),
+        registry: Some(std::sync::Arc::clone(&registry)),
+        ..EvalConfig::quick(samples)
+    };
 
     println!("# Secure-mitigation evaluation — custom patterns vs PARA/Graphene");
     println!("# ({samples} victim samples, {rows} rows/bank, PARA p = {para_prob})");
@@ -75,4 +82,6 @@ fn main() {
     }
     println!("# Expected shape: the custom patterns defeat the vendor TRR but neither");
     println!("# PARA (nothing to divert) nor Graphene (deterministic counter bound).");
+
+    emit_metrics(&registry, metrics_path.as_deref()).expect("metrics artifact is writable");
 }

@@ -11,8 +11,8 @@
 //! | `repro-fig10` | Fig. 10 — flips-per-8-byte-dataword histograms (+ §7.4 ECC verdicts) |
 //! | `ablations`   | DESIGN.md §6 — outcome sensitivity to simulator design choices |
 
-use attacks::eval::{sweep_bank, BankSweep, EvalConfig};
 use attacks::custom;
+use attacks::eval::{sweep_bank, BankSweep, EvalConfig};
 use dram_sim::{Bank, Nanos};
 use softmc::MemoryController;
 use utrr_core::reverse::{self, DetectionKind, ReverseOptions, TrrProfile};
@@ -73,7 +73,27 @@ impl ReMatches {
 /// Panics when Row Scout cannot find the required row groups — the
 /// scaled geometry below 1024 rows is too small for that.
 pub fn reverse_engineer_module(spec: &ModuleSpec, rows: u32, seed: u64) -> ReOutcome {
-    let mut mc = MemoryController::new(spec.build_scaled(rows, seed));
+    reverse_engineer_module_with(spec, rows, seed, None)
+}
+
+/// [`reverse_engineer_module`] with an optional shared metrics registry
+/// attached to the module under test, so the suite's Row Scout and TRR
+/// Analyzer spans land in the run artifact.
+///
+/// # Panics
+///
+/// Panics when Row Scout cannot find the required row groups.
+pub fn reverse_engineer_module_with(
+    spec: &ModuleSpec,
+    rows: u32,
+    seed: u64,
+    registry: Option<&std::sync::Arc<obs::MetricsRegistry>>,
+) -> ReOutcome {
+    let mut module = spec.build_scaled(rows, seed);
+    if let Some(registry) = registry {
+        module.attach_registry(std::sync::Arc::clone(registry));
+    }
+    let mut mc = MemoryController::new(module);
     let bank = Bank::new(0);
     let pair_layout = RowGroupLayout::single_aggressor_pair();
     // 18 pair groups give the counter-capacity sweep room up to 17.
@@ -86,18 +106,24 @@ pub fn reverse_engineer_module(spec: &ModuleSpec, rows: u32, seed: u64) -> ReOut
         .remove(0);
     // A second-bank group for the shared-sampler test.
     let other_bank = Bank::new(1);
-    let cross = RowScout::new(ScoutConfig::new(other_bank, rows, RowGroupLayout::single_aggressor_pair(), 1))
-        .scan(&mut mc)
-        .expect("row scout finds a cross-bank group")
-        .remove(0);
+    let cross = RowScout::new(ScoutConfig::new(
+        other_bank,
+        rows,
+        RowGroupLayout::single_aggressor_pair(),
+        1,
+    ))
+    .scan(&mut mc)
+    .expect("row scout finds a cross-bank group")
+    .remove(0);
 
     let opts = ReverseOptions {
         trigger_hammers: (spec.hc_first / 4).clamp(400, 4_000),
         ratio_iterations: 80,
         long_iterations: 400,
     };
-    let profile = reverse::classify(&mut mc, bank, &groups, &probe, Some((other_bank, &cross)), &opts)
-        .expect("classification experiments run");
+    let profile =
+        reverse::classify(&mut mc, bank, &groups, &probe, Some((other_bank, &cross)), &opts)
+            .expect("classification experiments run");
     let refresh_period = learn_refresh_schedule(&mut mc, &groups[0], bank)
         .expect("schedule learner converges")
         .period;
@@ -117,11 +143,8 @@ pub fn reverse_engineer_module(spec: &ModuleSpec, rows: u32, seed: u64) -> ReOut
     // On the paired-row organization a detection refreshes exactly one
     // row (the pair — Observation C3), which is what U-TRR observes even
     // though Table 1 lists "2" for those parts.
-    let expected_neighbors = if spec.topology() == dram_sim::Topology::Paired {
-        1
-    } else {
-        spec.neighbors_refreshed
-    };
+    let expected_neighbors =
+        if spec.topology() == dram_sim::Topology::Paired { 1 } else { spec.neighbors_refreshed };
     let matches = ReMatches {
         ratio: profile.trr_ref_ratio == spec.trr_to_ref_ratio,
         neighbors: profile.neighbors_refreshed == expected_neighbors,
@@ -136,7 +159,27 @@ pub fn reverse_engineer_module(spec: &ModuleSpec, rows: u32, seed: u64) -> ReOut
 /// Measures `HC_first` (footnote 1) on a module built from its spec,
 /// delegating to [`utrr_core::measure_hc_first`].
 pub fn measure_hc_first(spec: &ModuleSpec, rows: u32, samples: u32, seed: u64) -> u64 {
-    let mut mc = MemoryController::new(spec.build_scaled(rows, seed));
+    measure_hc_first_with(spec, rows, samples, seed, None)
+}
+
+/// [`measure_hc_first`] with an optional shared metrics registry
+/// attached to the module under test.
+///
+/// # Panics
+///
+/// Panics when the characterization cannot run on the built bank.
+pub fn measure_hc_first_with(
+    spec: &ModuleSpec,
+    rows: u32,
+    samples: u32,
+    seed: u64,
+    registry: Option<&std::sync::Arc<obs::MetricsRegistry>>,
+) -> u64 {
+    let mut module = spec.build_scaled(rows, seed);
+    if let Some(registry) = registry {
+        module.attach_registry(std::sync::Arc::clone(registry));
+    }
+    let mut mc = MemoryController::new(module);
     utrr_core::measure_hc_first(&mut mc, Bank::new(0), samples, spec.hc_first * 2)
         .expect("characterization runs on an in-range bank")
 }
@@ -165,7 +208,10 @@ pub fn fig8_sweep(spec: &ModuleSpec, hammer_values: &[f64], config: &EvalConfig)
         .map(|&h| {
             let pattern = custom::pattern_with_hammers(spec, h);
             let sweep = sweep_bank(spec, pattern.as_ref(), config);
-            Fig8Point { hammers: sweep.hammers_per_aggressor_per_ref, quartiles: sweep.flip_quartiles() }
+            Fig8Point {
+                hammers: sweep.hammers_per_aggressor_per_ref,
+                quartiles: sweep.flip_quartiles(),
+            }
         })
         .collect()
 }
@@ -182,11 +228,11 @@ pub fn boxplot_line(q: (u32, u32, u32, u32, u32), max_scale: u32, width: usize) 
     };
     let mut line = vec![' '; width];
     let (min, q1, med, q3, max) = q;
-    for i in scale(min)..=scale(max) {
-        line[i] = '-';
+    for cell in &mut line[scale(min)..=scale(max)] {
+        *cell = '-';
     }
-    for i in scale(q1)..=scale(q3) {
-        line[i] = '=';
+    for cell in &mut line[scale(q1)..=scale(q3)] {
+        *cell = '=';
     }
     line[scale(med)] = '#';
     line.into_iter().collect()
@@ -195,6 +241,40 @@ pub fn boxplot_line(q: (u32, u32, u32, u32, u32), max_scale: u32, width: usize) 
 /// Parses `--key value` style arguments, returning the value for `key`.
 pub fn arg_value(args: &[String], key: &str) -> Option<String> {
     args.iter().position(|a| a == key).and_then(|i| args.get(i + 1).cloned())
+}
+
+/// The metrics artifact path for a run: the `--metrics-out <path>`
+/// argument, with the `UTRR_METRICS_OUT` environment variable as
+/// fallback. `None` disables the artifact (the summary table is still
+/// printed).
+pub fn metrics_out_path(args: &[String]) -> Option<std::path::PathBuf> {
+    arg_value(args, "--metrics-out")
+        .or_else(|| std::env::var("UTRR_METRICS_OUT").ok())
+        .map(std::path::PathBuf::from)
+}
+
+/// A shared run registry (detail instrumentation enabled): attach it to
+/// every module a binary builds so the whole run lands in one artifact.
+pub fn run_registry() -> std::sync::Arc<obs::MetricsRegistry> {
+    obs::MetricsRegistry::shared()
+}
+
+/// End-of-run metrics emission: writes the JSONL artifact when a path is
+/// configured and prints the human-readable summary table to stderr.
+///
+/// # Errors
+///
+/// Propagates artifact I/O errors.
+pub fn emit_metrics(
+    registry: &obs::MetricsRegistry,
+    path: Option<&std::path::Path>,
+) -> std::io::Result<()> {
+    if let Some(path) = path {
+        obs::jsonl::write_jsonl_to_path(registry, path)?;
+        eprintln!("metrics artifact: {}", path.display());
+    }
+    eprint!("{}", obs::report::render_summary(registry));
+    Ok(())
 }
 
 /// Whether a bare `--flag` is present.
@@ -228,8 +308,7 @@ mod tests {
 
     #[test]
     fn arg_parsing() {
-        let args: Vec<String> =
-            ["--rows", "512", "--full"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["--rows", "512", "--full"].iter().map(|s| s.to_string()).collect();
         assert_eq!(arg_value(&args, "--rows").as_deref(), Some("512"));
         assert_eq!(arg_value(&args, "--samples"), None);
         assert!(arg_flag(&args, "--full"));
@@ -261,5 +340,60 @@ mod tests {
         let spec = by_id("C9").unwrap();
         let sweep = attack_columns(&spec, &EvalConfig::quick(12));
         assert!(sweep.vulnerable_pct() > 80.0);
+    }
+
+    #[test]
+    fn metrics_artifact_round_trips() {
+        let registry = run_registry();
+        let spec = by_id("A5").unwrap();
+        let config =
+            EvalConfig { registry: Some(std::sync::Arc::clone(&registry)), ..EvalConfig::quick(4) };
+        let sweep = attack_columns(&spec, &config);
+        assert!(sweep.vulnerable_pct() > 0.0);
+
+        let path = std::env::temp_dir().join(format!("utrr-artifact-{}.jsonl", std::process::id()));
+        emit_metrics(&registry, Some(&path)).expect("artifact writes");
+        let text = std::fs::read_to_string(&path).expect("artifact readable");
+        let _ = std::fs::remove_file(&path);
+        let records = obs::jsonl::parse_jsonl(&text).expect("every line parses");
+
+        let meta = &records[0];
+        assert_eq!(meta.get("type").and_then(|v| v.as_str()), Some("meta"));
+        assert_eq!(meta.get("schema").and_then(|v| v.as_str()), Some("utrr-obs/1"));
+
+        let counter_of = |name: &str| {
+            records
+                .iter()
+                .find(|r| {
+                    r.get("type").and_then(|v| v.as_str()) == Some("counter")
+                        && r.get("name").and_then(|v| v.as_str()) == Some(name)
+                })
+                .and_then(|r| r.get("value").and_then(|v| v.as_u64()))
+        };
+        assert!(counter_of("dram.cmd.act").unwrap() > 0, "activations were counted");
+        assert!(counter_of("dram.cmd.ref").unwrap() > 0, "refreshes were counted");
+
+        let histogram = records
+            .iter()
+            .find(|r| {
+                r.get("type").and_then(|v| v.as_str()) == Some("histogram")
+                    && r.get("count").and_then(|v| v.as_u64()).unwrap_or(0) > 0
+            })
+            .expect("a populated histogram exists");
+        for quantile in ["p50", "p90", "p99"] {
+            assert!(histogram.get(quantile).and_then(|v| v.as_u64()).is_some());
+        }
+        assert!(!histogram.get("bins").and_then(|v| v.as_array()).unwrap().is_empty());
+
+        let sweep_span = records
+            .iter()
+            .find(|r| {
+                r.get("type").and_then(|v| v.as_str()) == Some("span")
+                    && r.get("name").and_then(|v| v.as_str()) == Some("attacks.eval.sweep")
+            })
+            .expect("the sweep span was recorded");
+        let end = sweep_span.get("sim_end_ns").and_then(|v| v.as_u64()).unwrap();
+        let start = sweep_span.get("sim_start_ns").and_then(|v| v.as_u64()).unwrap();
+        assert!(end > start, "sweep span covers simulated time");
     }
 }

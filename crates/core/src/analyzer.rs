@@ -21,6 +21,13 @@ use crate::error::UtrrError;
 use crate::rowscout::ProfiledRowGroup;
 use crate::schedule::RefreshSchedule;
 
+/// Counter name for victims classified [`VictimOutcome::NotRefreshed`].
+pub const CTR_NOT_REFRESHED: &str = "utrr.outcome.not_refreshed";
+/// Counter name for victims classified [`VictimOutcome::RegularRefresh`].
+pub const CTR_REGULAR_REFRESH: &str = "utrr.outcome.regular_refresh";
+/// Counter name for victims classified [`VictimOutcome::TrrRefresh`].
+pub const CTR_TRR_REFRESH: &str = "utrr.outcome.trr_refresh";
+
 /// A TRR Analyzer experiment (the "Experiment Config" box of Fig. 3).
 ///
 /// The hammer-and-refresh rounds must complete well inside half the
@@ -215,10 +222,49 @@ impl TrrAnalyzer {
 
     /// Runs one experiment iteration (Fig. 7).
     ///
+    /// The iteration runs under a `utrr.analyzer.experiment` span with
+    /// one `utrr.analyzer.round` child per hammer round, and the
+    /// per-victim classification is tallied into the
+    /// [`CTR_NOT_REFRESHED`], [`CTR_REGULAR_REFRESH`], and
+    /// [`CTR_TRR_REFRESH`] counters.
+    ///
     /// # Errors
     ///
     /// Propagates device protocol errors.
     pub fn run(
+        &self,
+        mc: &mut MemoryController,
+        exp: &Experiment,
+    ) -> Result<ExperimentOutcome, UtrrError> {
+        let registry = std::sync::Arc::clone(mc.registry());
+        let span = obs::span!(
+            registry,
+            "utrr.analyzer.experiment",
+            mc.now().as_ns(),
+            victims = exp.victims.len() as u64,
+            rounds = exp.rounds as u64,
+            refs_per_round = exp.refs_per_round
+        );
+        let result = self.run_inner(mc, exp);
+        if let Ok(outcome) = &result {
+            let mut tally = [0u64; 3];
+            for v in &outcome.victims {
+                let slot = match v {
+                    VictimOutcome::NotRefreshed => 0,
+                    VictimOutcome::RegularRefresh => 1,
+                    VictimOutcome::TrrRefresh => 2,
+                };
+                tally[slot] += 1;
+            }
+            registry.counter(CTR_NOT_REFRESHED).add(tally[0]);
+            registry.counter(CTR_REGULAR_REFRESH).add(tally[1]);
+            registry.counter(CTR_TRR_REFRESH).add(tally[2]);
+        }
+        span.finish(mc.now().as_ns());
+        result
+    }
+
+    fn run_inner(
         &self,
         mc: &mut MemoryController,
         exp: &Experiment,
@@ -242,15 +288,24 @@ impl TrrAnalyzer {
         // ③④ Hammer rounds, each ending with REFs.
         let ref_start = mc.module().ref_count();
         let active_start = mc.now();
-        for _ in 0..exp.rounds {
-            if exp.dummies_first {
-                self.hammer_dummies(mc, exp)?;
-                mc.hammer(exp.bank, &exp.hammer)?;
-            } else {
-                mc.hammer(exp.bank, &exp.hammer)?;
-                self.hammer_dummies(mc, exp)?;
-            }
-            mc.refresh(exp.refs_per_round);
+        for round in 0..exp.rounds {
+            let registry = std::sync::Arc::clone(mc.registry());
+            let round_span =
+                obs::span!(registry, "utrr.analyzer.round", mc.now().as_ns(), round = round as u64);
+            let mut step = || -> Result<(), UtrrError> {
+                if exp.dummies_first {
+                    self.hammer_dummies(mc, exp)?;
+                    mc.hammer(exp.bank, &exp.hammer)?;
+                } else {
+                    mc.hammer(exp.bank, &exp.hammer)?;
+                    self.hammer_dummies(mc, exp)?;
+                }
+                mc.refresh(exp.refs_per_round);
+                Ok(())
+            };
+            let step_result = step();
+            round_span.finish(mc.now().as_ns());
+            step_result?;
         }
         let ref_end = mc.module().ref_count();
         let active = mc.now() - active_start;
@@ -339,11 +394,7 @@ impl TrrAnalyzer {
         }
     }
 
-    fn hammer_dummies(
-        &self,
-        mc: &mut MemoryController,
-        exp: &Experiment,
-    ) -> Result<(), UtrrError> {
+    fn hammer_dummies(&self, mc: &mut MemoryController, exp: &Experiment) -> Result<(), UtrrError> {
         for &dummy in &exp.dummies {
             mc.module_mut().hammer(exp.bank, dummy, exp.dummy_hammers)?;
         }
@@ -363,15 +414,10 @@ mod tests {
     const BANK: Bank = Bank::new(0);
 
     fn scout_one(mc: &mut MemoryController) -> ProfiledRowGroup {
-        RowScout::new(ScoutConfig::new(
-            BANK,
-            768,
-            RowGroupLayout::single_aggressor_pair(),
-            1,
-        ))
-        .scan(mc)
-        .unwrap()
-        .remove(0)
+        RowScout::new(ScoutConfig::new(BANK, 768, RowGroupLayout::single_aggressor_pair(), 1))
+            .scan(mc)
+            .unwrap()
+            .remove(0)
     }
 
     #[test]
@@ -382,20 +428,13 @@ mod tests {
         // No hammering, no REFs beyond the single one → no TRR, and one
         // REF almost never hits the victims' regular slot.
         let outcome = TrrAnalyzer::new().run(&mut mc, &exp).unwrap();
-        assert!(
-            outcome
-                .victims
-                .iter()
-                .all(|v| *v == VictimOutcome::NotRefreshed),
-            "{outcome:?}"
-        );
+        assert!(outcome.victims.iter().all(|v| *v == VictimOutcome::NotRefreshed), "{outcome:?}");
     }
 
     #[test]
     fn counter_trr_refresh_is_detected() {
         let config = ModuleConfig::small_test();
-        let module =
-            Module::with_engine(config, Box::new(CounterTrr::a_trr1(2)), 41);
+        let module = Module::with_engine(config, Box::new(CounterTrr::a_trr1(2)), 41);
         let mut mc = MemoryController::new(module);
         let group = scout_one(&mut mc);
         let aggressor = group.aggressors[0];
@@ -428,13 +467,7 @@ mod tests {
         // classified as such (no TRR on this module).
         let exp = Experiment::on_group(BANK, &group).with_refs(1024);
         let outcome = analyzer.run(&mut mc, &exp).unwrap();
-        assert!(
-            outcome
-                .victims
-                .iter()
-                .all(|v| *v == VictimOutcome::RegularRefresh),
-            "{outcome:?}"
-        );
+        assert!(outcome.victims.iter().all(|v| *v == VictimOutcome::RegularRefresh), "{outcome:?}");
     }
 
     #[test]
@@ -453,8 +486,8 @@ mod tests {
         let mut mc = MemoryController::new(Module::new(ModuleConfig::small_test(), 53));
         let group = scout_one(&mut mc);
         let aggressor = group.aggressors[0];
-        let exp = Experiment::on_group(BANK, &group)
-            .with_hammer(HammerSpec::single_sided(aggressor, 1));
+        let exp =
+            Experiment::on_group(BANK, &group).with_hammer(HammerSpec::single_sided(aggressor, 1));
         TrrAnalyzer::new().verify_adjacency(&mut mc, &exp, 300_000).unwrap();
     }
 
@@ -463,11 +496,8 @@ mod tests {
         let mut mc = MemoryController::new(Module::new(ModuleConfig::small_test(), 53));
         let group = scout_one(&mut mc);
         let far = RowAddr::new((group.base.index() + 500) % 1000);
-        let exp = Experiment::on_group(BANK, &group)
-            .with_hammer(HammerSpec::single_sided(far, 1));
-        let err = TrrAnalyzer::new()
-            .verify_adjacency(&mut mc, &exp, 300_000)
-            .unwrap_err();
+        let exp = Experiment::on_group(BANK, &group).with_hammer(HammerSpec::single_sided(far, 1));
+        let err = TrrAnalyzer::new().verify_adjacency(&mut mc, &exp, 300_000).unwrap_err();
         assert_eq!(err, UtrrError::AdjacencyBroken);
     }
 
@@ -476,11 +506,8 @@ mod tests {
         // With enough dummy rows hammered after the aggressor, the
         // counter table's LRU eviction drops the aggressor and the
         // victims decay — the core of the §7.1 vendor-A pattern.
-        let module = Module::with_engine(
-            ModuleConfig::small_test(),
-            Box::new(CounterTrr::a_trr1(2)),
-            41,
-        );
+        let module =
+            Module::with_engine(ModuleConfig::small_test(), Box::new(CounterTrr::a_trr1(2)), 41);
         let mut mc = MemoryController::new(module);
         let group = scout_one(&mut mc);
         let aggressor = group.aggressors[0];
@@ -504,7 +531,9 @@ mod tests {
         let mut mc = MemoryController::new(Module::new(ModuleConfig::small_test(), 59));
         let group = scout_one(&mut mc);
         let exp = Experiment::on_group(BANK, &group)
-            .with_hammer(HammerSpec::double_sided(RowAddr::new(10), 5).with_mode(HammerMode::Cascaded))
+            .with_hammer(
+                HammerSpec::double_sided(RowAddr::new(10), 5).with_mode(HammerMode::Cascaded),
+            )
             .with_dummies(vec![RowAddr::new(900)], 3)
             .with_refs(7);
         assert_eq!(exp.refs_per_round, 7);

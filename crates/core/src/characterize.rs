@@ -159,12 +159,9 @@ pub fn data_pattern_sensitivity(
     let samples = samples.clamp(1, rows / 8);
     let stride = (rows - 16) / samples;
     let mut out = Vec::new();
-    for pattern in [
-        DataPattern::Zeros,
-        DataPattern::Ones,
-        DataPattern::Checkerboard,
-        DataPattern::RowStripe,
-    ] {
+    for pattern in
+        [DataPattern::Zeros, DataPattern::Ones, DataPattern::Checkerboard, DataPattern::RowStripe]
+    {
         let mut total = 0u64;
         for i in 0..samples {
             let v = PhysRow::new(8 + i * stride);
@@ -199,10 +196,7 @@ mod tests {
         // Test physics: hc_first = 1000, threshold floor = 2000 units;
         // double-sided count n gives ~2n units.
         let measured = measure_hc_first(&mut mc, BANK, 24, 256).unwrap();
-        assert!(
-            (900..2_600).contains(&measured),
-            "measured {measured}, physics HC_first 1000"
-        );
+        assert!((900..2_600).contains(&measured), "measured {measured}, physics HC_first 1000");
     }
 
     #[test]

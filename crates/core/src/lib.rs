@@ -53,7 +53,10 @@ pub mod reverse;
 pub mod rowscout;
 pub mod schedule;
 
-pub use analyzer::{flush_tracker, Experiment, ExperimentOutcome, TrrAnalyzer, VictimOutcome};
+pub use analyzer::{
+    flush_tracker, Experiment, ExperimentOutcome, TrrAnalyzer, VictimOutcome, CTR_NOT_REFRESHED,
+    CTR_REGULAR_REFRESH, CTR_TRR_REFRESH,
+};
 pub use characterize::{compare_hammer_modes, data_pattern_sensitivity, measure_hc_first};
 pub use error::UtrrError;
 pub use layout::RowGroupLayout;

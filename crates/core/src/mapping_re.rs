@@ -282,10 +282,7 @@ mod tests {
     fn paired_detection_is_inconclusive_without_flips() {
         let mut mc = controller_with(RowMapping::Identity, Topology::Paired);
         // Far too few hammers to flip anything.
-        assert_eq!(
-            detect_paired_rows(&mut mc, Bank::new(0), &probes(), 10).unwrap(),
-            None
-        );
+        assert_eq!(detect_paired_rows(&mut mc, Bank::new(0), &probes(), 10).unwrap(), None);
     }
 
     #[test]

@@ -85,11 +85,8 @@ fn detection_iteration(
 ) -> Result<(Vec<bool>, u64), UtrrError> {
     let retention = groups.iter().map(|g| g.retention).min().expect("at least one group");
     let victims: Vec<RowAddr> = groups.iter().flat_map(|g| g.victim_rows()).collect();
-    let aggressors: Vec<(RowAddr, u64)> = groups
-        .iter()
-        .zip(hammers)
-        .map(|(g, &h)| (g.aggressors[0], h))
-        .collect();
+    let aggressors: Vec<(RowAddr, u64)> =
+        groups.iter().zip(hammers).map(|(g, &h)| (g.aggressors[0], h)).collect();
     let mut exp = Experiment::on_group(bank, &groups[0]);
     exp.victims = victims;
     exp.retention = retention;
@@ -224,9 +221,8 @@ pub fn discover_counter_capacity(
             // deterministic max-count tie-break would keep detecting the
             // same entry forever, stalling coverage.
             let boosted = (iter / block) as usize % n;
-            let hammers: Vec<u64> = (0..n)
-                .map(|i| opts.trigger_hammers + if i == boosted { 512 } else { 0 })
-                .collect();
+            let hammers: Vec<u64> =
+                (0..n).map(|i| opts.trigger_hammers + if i == boosted { 512 } else { 0 }).collect();
             let (flags, _) = detection_iteration(mc, analyzer, bank, subset, &hammers, 1)?;
             for (c, f) in covered.iter_mut().zip(&flags) {
                 *c |= *f;
@@ -546,8 +542,7 @@ pub fn classify(
 
     // Sampler discriminator: does the last-hammered row dominate even
     // with fewer hammers?
-    let two: &[ProfiledRowGroup; 2] =
-        &[pair_groups[0].clone(), pair_groups[1].clone()];
+    let two: &[ProfiledRowGroup; 2] = &[pair_groups[0].clone(), pair_groups[1].clone()];
     let last_bias = discover_last_hammered_bias(
         mc,
         &analyzer,
@@ -596,8 +591,7 @@ pub fn classify(
             &[pair_groups[0].clone(), pair_groups[1].clone()],
             opts,
         )?;
-        let persistence =
-            discover_table_persistence(mc, &analyzer, bank, &pair_groups[0], opts)?;
+        let persistence = discover_table_persistence(mc, &analyzer, bank, &pair_groups[0], opts)?;
         DetectionKind::Counter {
             capacity,
             counters_reset: low > 0 && high > 0,

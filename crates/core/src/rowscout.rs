@@ -137,16 +137,46 @@ impl RowScout {
 
     /// Runs the Fig. 6 loop and returns `group_count` validated groups.
     ///
+    /// The whole scan runs under a `utrr.rowscout.scan` span, with one
+    /// `utrr.rowscout.pass` child span per retention interval tried; the
+    /// `utrr.rowscout.groups_found` counter records validated groups.
+    ///
     /// # Errors
     ///
     /// [`UtrrError::NotEnoughRowGroups`] if the retention ceiling is
     /// reached first; device errors are propagated.
     pub fn scan(&self, mc: &mut MemoryController) -> Result<Vec<ProfiledRowGroup>, UtrrError> {
+        let registry = std::sync::Arc::clone(mc.registry());
+        let span = obs::span!(
+            registry,
+            "utrr.rowscout.scan",
+            mc.now().as_ns(),
+            rows = (self.config.row_end - self.config.row_start) as u64,
+            groups_wanted = self.config.group_count as u64
+        );
+        let result = self.scan_inner(mc);
+        if let Ok(groups) = &result {
+            registry.counter("utrr.rowscout.groups_found").add(groups.len() as u64);
+        }
+        span.finish(mc.now().as_ns());
+        result
+    }
+
+    fn scan_inner(&self, mc: &mut MemoryController) -> Result<Vec<ProfiledRowGroup>, UtrrError> {
         let cfg = &self.config;
         let mut retention = cfg.initial_retention;
         let mut best_found = 0usize;
         while retention <= cfg.max_retention {
-            let groups = self.scan_at(mc, retention)?;
+            let registry = std::sync::Arc::clone(mc.registry());
+            let pass = obs::span!(
+                registry,
+                "utrr.rowscout.pass",
+                mc.now().as_ns(),
+                retention_ms = retention.as_ns() / 1_000_000
+            );
+            let groups = self.scan_at(mc, retention);
+            pass.finish(mc.now().as_ns());
+            let groups = groups?;
             best_found = best_found.max(groups.len());
             if groups.len() >= cfg.group_count {
                 return Ok(groups.into_iter().take(cfg.group_count).collect());
@@ -173,11 +203,8 @@ impl RowScout {
         // …minus rows that fail too early (before they could survive the
         // first half-window of a TRR-A experiment; footnote 4).
         let fail_early = self.failing_rows(mc, retention * 55 / 100)?;
-        let bucket: Vec<bool> = fail_at_t
-            .iter()
-            .zip(&fail_early)
-            .map(|(&late, &early)| late && !early)
-            .collect();
+        let bucket: Vec<bool> =
+            fail_at_t.iter().zip(&fail_early).map(|(&late, &early)| late && !early).collect();
 
         let mut groups = Vec::new();
         let mut base = cfg.row_start;
@@ -205,11 +232,7 @@ impl RowScout {
 
     /// Writes the pattern to the whole range, decays it for `wait`, and
     /// returns per-row failure flags.
-    fn failing_rows(
-        &self,
-        mc: &mut MemoryController,
-        wait: Nanos,
-    ) -> Result<Vec<bool>, UtrrError> {
+    fn failing_rows(&self, mc: &mut MemoryController, wait: Nanos) -> Result<Vec<bool>, UtrrError> {
         let cfg = &self.config;
         for phys in cfg.row_start..cfg.row_end {
             let row = mc.module().logical_of(PhysRow::new(phys));
@@ -353,10 +376,7 @@ mod tests {
             let t = g.retention;
             for p in &g.rows {
                 let view = mc.module_mut().inspect_row(Bank::new(0), p.row);
-                let stable_binds = view
-                    .weak_cells
-                    .iter()
-                    .any(|&(_, r, vrt)| !vrt && r < t);
+                let stable_binds = view.weak_cells.iter().any(|&(_, r, vrt)| !vrt && r < t);
                 assert!(stable_binds, "a non-VRT cell must guarantee failure at T");
                 let early_margin = t * 55 / 100;
                 let none_early = view.weak_cells.iter().all(|&(_, r, _)| r > early_margin);

@@ -14,7 +14,6 @@
 //! a fine pass (single `REF` per trial) pins their exact indices, whose
 //! difference is the per-row refresh period.
 
-
 use softmc::MemoryController;
 
 use crate::error::UtrrError;
@@ -204,14 +203,10 @@ mod tests {
     fn learns_the_device_period() {
         let mut mc = MemoryController::new(Module::new(ModuleConfig::small_test(), 31));
         let bank = Bank::new(0);
-        let groups = RowScout::new(ScoutConfig::new(
-            bank,
-            512,
-            RowGroupLayout::single_aggressor_pair(),
-            1,
-        ))
-        .scan(&mut mc)
-        .unwrap();
+        let groups =
+            RowScout::new(ScoutConfig::new(bank, 512, RowGroupLayout::single_aggressor_pair(), 1))
+                .scan(&mut mc)
+                .unwrap();
         let schedule = learn_refresh_schedule(&mut mc, &groups[0], bank).unwrap();
         // small_test refreshes each of the 1024 rows once per 1024 REFs.
         assert_eq!(schedule.period, 1024);
@@ -225,14 +220,10 @@ mod tests {
     fn learned_schedule_predicts_cleanliness() {
         let mut mc = MemoryController::new(Module::new(ModuleConfig::small_test(), 37));
         let bank = Bank::new(0);
-        let groups = RowScout::new(ScoutConfig::new(
-            bank,
-            512,
-            RowGroupLayout::single_aggressor_pair(),
-            1,
-        ))
-        .scan(&mut mc)
-        .unwrap();
+        let groups =
+            RowScout::new(ScoutConfig::new(bank, 512, RowGroupLayout::single_aggressor_pair(), 1))
+                .scan(&mut mc)
+                .unwrap();
         let g = &groups[0];
         let schedule = learn_refresh_schedule(&mut mc, g, bank).unwrap();
         // Run a few more trials and check the prediction each time.

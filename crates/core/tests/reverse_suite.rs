@@ -47,7 +47,8 @@ fn ratio_of_counter_trr_is_nine() {
     let mut mc = controller(Box::new(CounterTrr::a_trr1(2)), 101);
     let groups = scout(&mut mc, "RAR", 8);
     let analyzer = analyzer_for(&mut mc, &groups);
-    let ratio = reverse::discover_trr_ref_ratio(&mut mc, &analyzer, BANK, &groups, &opts()).unwrap();
+    let ratio =
+        reverse::discover_trr_ref_ratio(&mut mc, &analyzer, BANK, &groups, &opts()).unwrap();
     assert_eq!(ratio, Some(9));
 }
 
@@ -69,7 +70,8 @@ fn ratio_of_window_trr_is_nine() {
     let mut mc = controller(Box::new(WindowTrr::c_trr2(2, 7)), 107);
     let groups = scout(&mut mc, "RAR", 4);
     let analyzer = analyzer_for(&mut mc, &groups);
-    let ratio = reverse::discover_trr_ref_ratio(&mut mc, &analyzer, BANK, &groups, &opts()).unwrap();
+    let ratio =
+        reverse::discover_trr_ref_ratio(&mut mc, &analyzer, BANK, &groups, &opts()).unwrap();
     assert_eq!(ratio, Some(9));
 }
 
@@ -84,7 +86,8 @@ fn neighbors_refreshed_matches_span() {
         let mut mc = controller(engine, 109);
         let probe = scout(&mut mc, "RRARR", 1).remove(0);
         let analyzer = analyzer_for(&mut mc, std::slice::from_ref(&probe));
-        let n = reverse::discover_neighbors_refreshed(&mut mc, &analyzer, BANK, &probe, &opts()).unwrap();
+        let n = reverse::discover_neighbors_refreshed(&mut mc, &analyzer, BANK, &probe, &opts())
+            .unwrap();
         assert_eq!(n, expected);
     }
     let mut mc = controller(Box::new(SamplerTrr::b_trr1(2, 9)), 109);
@@ -163,9 +166,8 @@ fn sampler_detects_last_hammered_row() {
     let mut o = opts();
     o.trigger_hammers = 5_000;
     let analyzer = analyzer_for(&mut mc, &groups);
-    let bias =
-        reverse::discover_last_hammered_bias(&mut mc, &analyzer, BANK, &pair, 3_000, 4, &o)
-            .unwrap();
+    let bias = reverse::discover_last_hammered_bias(&mut mc, &analyzer, BANK, &pair, 3_000, 4, &o)
+        .unwrap();
     assert!(bias > 0.9, "sampler must detect the last hammered row, bias {bias}");
 }
 
@@ -179,9 +181,8 @@ fn counter_trr_detects_highest_count_not_last() {
     let mut o = opts();
     o.trigger_hammers = 5_000;
     let analyzer = analyzer_for(&mut mc, &groups);
-    let bias =
-        reverse::discover_last_hammered_bias(&mut mc, &analyzer, BANK, &pair, 3_000, 9, &o)
-            .unwrap();
+    let bias = reverse::discover_last_hammered_bias(&mut mc, &analyzer, BANK, &pair, 3_000, 9, &o)
+        .unwrap();
     assert!(bias < 0.5, "counter TRR must not favour the last row, bias {bias}");
 }
 
@@ -199,14 +200,9 @@ fn shared_sampler_is_detected_across_banks() {
     o.trigger_hammers = 3_000;
     let mut analyzer = analyzer_for(&mut mc, &groups0);
     learn_group_schedules(&mut mc, Bank::new(1), &groups1[0], &mut analyzer).unwrap();
-    let (first, second) = reverse::discover_cross_bank_sharing(
-        &mut mc,
-        &analyzer,
-        [BANK, Bank::new(1)],
-        &pair,
-        &o,
-    )
-    .unwrap();
+    let (first, second) =
+        reverse::discover_cross_bank_sharing(&mut mc, &analyzer, [BANK, Bank::new(1)], &pair, &o)
+            .unwrap();
     assert_eq!(first, 0, "the bank-0 sample must be overwritten by bank 1's");
     assert!(second > 0, "bank 1's victims are refreshed");
 }
@@ -225,14 +221,9 @@ fn per_bank_sampler_serves_both_banks() {
     o.trigger_hammers = 3_000;
     let mut analyzer = analyzer_for(&mut mc, &groups0);
     learn_group_schedules(&mut mc, Bank::new(1), &groups1[0], &mut analyzer).unwrap();
-    let (first, second) = reverse::discover_cross_bank_sharing(
-        &mut mc,
-        &analyzer,
-        [BANK, Bank::new(1)],
-        &pair,
-        &o,
-    )
-    .unwrap();
+    let (first, second) =
+        reverse::discover_cross_bank_sharing(&mut mc, &analyzer, [BANK, Bank::new(1)], &pair, &o)
+            .unwrap();
     assert!(first > 0, "bank 0 keeps its own sample");
     assert!(second > 0, "bank 1 keeps its own sample");
 }
@@ -258,10 +249,7 @@ fn act_window_is_bracketed() {
     )
     .unwrap();
     let horizon = window.expect("a horizon must be found");
-    assert!(
-        (256..=1_024).contains(&horizon),
-        "effective capture horizon out of range: {horizon}"
-    );
+    assert!((256..=1_024).contains(&horizon), "effective capture horizon out of range: {horizon}");
 }
 
 #[test]

@@ -223,12 +223,7 @@ mod tests {
 
     #[test]
     fn dataword_histogram_groups_by_chunk() {
-        let r = RowReadout::new(
-            RowAddr::new(0),
-            DataPattern::Ones,
-            vec![0, 3, 63, 64, 200],
-            1024,
-        );
+        let r = RowReadout::new(RowAddr::new(0), DataPattern::Ones, vec![0, 3, 63, 64, 200], 1024);
         assert_eq!(r.flips_per_dataword(), vec![(0, 3), (1, 1), (3, 1)]);
         assert_eq!(r.dataword_count(), 16);
         assert_eq!(r.flip_count(), 5);

@@ -58,6 +58,7 @@ pub mod addr;
 pub mod data;
 pub mod error;
 pub mod mapping;
+pub mod metrics;
 pub mod mitigation;
 pub mod module;
 pub mod physics;
@@ -69,6 +70,7 @@ pub use addr::{Bank, ColAddr, ModuleGeometry, PhysRow, RowAddr};
 pub use data::{DataPattern, RowReadout};
 pub use error::DramError;
 pub use mapping::{RowMapping, Topology};
+pub use metrics::DeviceMetrics;
 pub use mitigation::{MitigationEngine, NeighborSpan, NoMitigation, TrrDetection};
 pub use module::{Module, ModuleConfig, RefreshConfig};
 pub use physics::PhysicsConfig;

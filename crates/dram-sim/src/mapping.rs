@@ -31,8 +31,7 @@ use crate::addr::{PhysRow, RowAddr};
 /// assert_eq!(m.to_logical(phys), RowAddr::new(0)); // bijection
 /// assert_eq!(phys.index(), 7);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub enum RowMapping {
     /// Logical address equals physical position.
     #[default]
@@ -98,8 +97,8 @@ impl RowMapping {
     pub fn valid_for(&self, rows: u32) -> bool {
         match self {
             RowMapping::Identity => true,
-            RowMapping::BlockMirror { block_bits } => rows % (1 << block_bits) == 0,
-            RowMapping::MsbXor { ctrl_bit, .. } => rows % (1u32 << (ctrl_bit + 1)) == 0,
+            RowMapping::BlockMirror { block_bits } => rows.is_multiple_of(1 << block_bits),
+            RowMapping::MsbXor { ctrl_bit, .. } => rows.is_multiple_of(1u32 << (ctrl_bit + 1)),
             RowMapping::Remapped { base, swaps } => {
                 base.valid_for(rows) && swaps.iter().all(|&(a, b)| a < rows && b < rows)
             }
@@ -158,11 +157,9 @@ impl RowMapping {
     }
 }
 
-
 /// How activations disturb physically nearby rows, and which rows TRR
 /// refreshes around a detected aggressor.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Topology {
     /// Conventional wordline stack: distance-1 neighbours receive full
     /// disturbance, distance-2 neighbours a configurable fraction.
@@ -243,7 +240,6 @@ impl Topology {
         }
     }
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -359,10 +355,7 @@ mod tests {
         let one = t.trr_victims(PhysRow::new(10), 100, NeighborSpan::One);
         assert_eq!(one, vec![PhysRow::new(9), PhysRow::new(11)]);
         let two = t.trr_victims(PhysRow::new(10), 100, NeighborSpan::Two);
-        assert_eq!(
-            two,
-            vec![PhysRow::new(9), PhysRow::new(11), PhysRow::new(8), PhysRow::new(12)]
-        );
+        assert_eq!(two, vec![PhysRow::new(9), PhysRow::new(11), PhysRow::new(8), PhysRow::new(12)]);
     }
 
     #[test]

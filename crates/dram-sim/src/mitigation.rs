@@ -115,6 +115,13 @@ pub trait MitigationEngine: fmt::Debug {
         Vec::new()
     }
 
+    /// Hands the engine the metrics registry of the device it protects,
+    /// called on construction and whenever a new registry is attached
+    /// ([`crate::Module::attach_registry`]). Engines that want to expose
+    /// internal counters (table evictions, sampler hits, …) register
+    /// them here; the default keeps engines metrics-free.
+    fn attach_metrics(&mut self, _registry: &std::sync::Arc<obs::MetricsRegistry>) {}
+
     /// Clears all internal state (counter tables, sample registers,
     /// activation windows) back to power-on.
     fn reset(&mut self);

@@ -23,11 +23,15 @@
 //! [`RefreshConfig`] parameter.
 
 use std::collections::HashMap;
+use std::sync::Arc;
+
+use obs::MetricsRegistry;
 
 use crate::addr::{Bank, ModuleGeometry, PhysRow, RowAddr};
 use crate::data::{DataPattern, RowData, RowReadout};
 use crate::error::DramError;
 use crate::mapping::{RowMapping, Topology};
+use crate::metrics::{DeviceMetrics, EVT_BIT_FLIP, EVT_TRR_DETECTION};
 use crate::mitigation::{MitigationEngine, NoMitigation};
 use crate::physics::{window_flips, PhysicsConfig, RowPhysics, RowPhysicsView};
 use crate::stats::ModuleStats;
@@ -126,7 +130,7 @@ pub struct Module {
     ref_count: u64,
     rows: HashMap<u64, RowState>,
     banks: Vec<BankState>,
-    stats: ModuleStats,
+    metrics: DeviceMetrics,
 }
 
 impl Module {
@@ -136,12 +140,11 @@ impl Module {
     }
 
     /// Creates a module protected by the given mitigation engine.
-    pub fn with_engine(
-        config: ModuleConfig,
-        engine: Box<dyn MitigationEngine>,
-        seed: u64,
-    ) -> Self {
+    pub fn with_engine(config: ModuleConfig, engine: Box<dyn MitigationEngine>, seed: u64) -> Self {
         let banks = vec![BankState::default(); config.geometry.banks as usize];
+        let metrics = DeviceMetrics::private();
+        let mut engine = engine;
+        engine.attach_metrics(metrics.registry());
         Module {
             config,
             engine,
@@ -150,8 +153,22 @@ impl Module {
             ref_count: 0,
             rows: HashMap::new(),
             banks,
-            stats: ModuleStats::default(),
+            metrics,
         }
+    }
+
+    /// Points this device (and its mitigation engine) at `registry`, so
+    /// several devices — or a whole run — share one artifact. Call right
+    /// after construction: counts already accumulated in the previous
+    /// (private) registry are not migrated.
+    pub fn attach_registry(&mut self, registry: Arc<MetricsRegistry>) {
+        self.metrics = DeviceMetrics::new(registry);
+        self.engine.attach_metrics(self.metrics.registry());
+    }
+
+    /// The metrics registry this device reports into.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        self.metrics.registry()
     }
 
     /// The current device time.
@@ -174,9 +191,10 @@ impl Module {
         self.config.timings
     }
 
-    /// Cumulative statistics.
+    /// Cumulative statistics (a snapshot view over the metrics
+    /// registry's `dram.*` counters).
     pub fn stats(&self) -> ModuleStats {
-        self.stats
+        self.metrics.stats_view()
     }
 
     /// Name of the installed mitigation engine.
@@ -234,7 +252,10 @@ impl Module {
         let b = &mut self.banks[bank.index() as usize];
         b.open = Some((row, phys));
         b.last_act = Some(phys);
-        self.stats.activations += 1;
+        self.metrics.act.inc();
+        if self.metrics.detail() {
+            self.metrics.act_ns.record(self.config.timings.t_ras.as_ns());
+        }
         self.now += self.config.timings.t_ras;
         Ok(())
     }
@@ -252,6 +273,10 @@ impl Module {
             return Err(DramError::BankClosed { bank });
         }
         b.open = None;
+        self.metrics.pre.inc();
+        if self.metrics.detail() {
+            self.metrics.pre_ns.record(self.config.timings.t_rp.as_ns());
+        }
         self.now += self.config.timings.t_rp;
         Ok(())
     }
@@ -269,7 +294,10 @@ impl Module {
         state.data = Some(RowData::new(pattern, logical));
         state.last_restore = now;
         state.disturbance = 0.0;
-        self.stats.row_writes += 1;
+        self.metrics.row_writes.inc();
+        if self.metrics.detail() {
+            self.metrics.write_ns.record(ROW_IO.as_ns());
+        }
         self.now += ROW_IO;
         Ok(())
     }
@@ -295,7 +323,10 @@ impl Module {
             ),
             None => RowReadout::new(logical, DataPattern::Zeros, Vec::new(), row_bits),
         };
-        self.stats.row_reads += 1;
+        self.metrics.row_reads.inc();
+        if self.metrics.detail() {
+            self.metrics.read_ns.record(ROW_IO.as_ns());
+        }
         self.now += ROW_IO;
         Ok(readout)
     }
@@ -347,17 +378,18 @@ impl Module {
         let phys = self.phys_of(row);
         self.restore(bank, phys);
         let discount = self.config.physics.same_row_discount;
-        let first = if self.banks[bank.index() as usize].last_act == Some(phys) {
-            discount
-        } else {
-            1.0
-        };
+        let first =
+            if self.banks[bank.index() as usize].last_act == Some(phys) { discount } else { 1.0 };
         let weight = first + discount * (count - 1) as f64;
         self.disturb_from(bank, phys, weight);
         self.engine.on_activations(bank, phys, count, self.now);
         self.apply_inline_detections();
         self.banks[bank.index() as usize].last_act = Some(phys);
-        self.stats.activations += count;
+        self.metrics.act.add(count);
+        if self.metrics.detail() {
+            // One O(1) update for the whole batch.
+            self.metrics.act_ns.record_n(self.config.timings.t_rc().as_ns(), count);
+        }
         self.now += self.config.timings.t_rc() * count;
         Ok(())
     }
@@ -434,7 +466,10 @@ impl Module {
         self.engine.on_interleaved_pair(bank, p1, p2, pairs, self.now);
         self.apply_inline_detections();
         self.banks[bank.index() as usize].last_act = Some(p2);
-        self.stats.activations += 2 * pairs;
+        self.metrics.act.add(2 * pairs);
+        if self.metrics.detail() {
+            self.metrics.act_ns.record_n(self.config.timings.t_rc().as_ns(), 2 * pairs);
+        }
         self.now += self.config.timings.t_rc() * (2 * pairs);
         Ok(())
     }
@@ -452,14 +487,17 @@ impl Module {
             for r in start..end {
                 let phys = PhysRow::new((r % rows) as u32);
                 if self.restore_existing(bank, phys) {
-                    self.stats.regular_row_refreshes += 1;
+                    self.metrics.regular_row_refreshes.inc();
                 }
             }
         }
         let detections = self.engine.on_refresh(self.now);
         self.apply_detections(detections);
         self.ref_count += 1;
-        self.stats.refreshes += 1;
+        self.metrics.refresh.inc();
+        if self.metrics.detail() {
+            self.metrics.ref_ns.record(self.config.timings.t_rfc.as_ns());
+        }
         self.now += self.config.timings.t_rfc;
     }
 
@@ -543,14 +581,10 @@ impl Module {
         let elapsed = now - state.last_restore;
         let mut new_flips = 0u64;
         if let Some(data) = &mut state.data {
-            let flips = window_flips(
-                &state.physics,
-                &cfg,
-                elapsed,
-                state.disturbance,
-                row_bits,
-                |bit| data.bit(bit),
-            );
+            let flips =
+                window_flips(&state.physics, &cfg, elapsed, state.disturbance, row_bits, |bit| {
+                    data.bit(bit)
+                });
             new_flips = flips.len() as u64;
             for bit in flips {
                 data.set_flipped(bit);
@@ -561,7 +595,18 @@ impl Module {
         }
         state.last_restore = now;
         state.disturbance = 0.0;
-        self.stats.bit_flips += new_flips;
+        if new_flips > 0 {
+            self.metrics.bit_flips.add(new_flips);
+            self.metrics.event(
+                EVT_BIT_FLIP,
+                now.as_ns(),
+                &[
+                    ("bank", bank.index() as u64),
+                    ("row", phys.index() as u64),
+                    ("flips", new_flips),
+                ],
+            );
+        }
     }
 
     /// Drains ACT-synchronous detections (PARA/Graphene-style engines)
@@ -579,8 +624,17 @@ impl Module {
     /// uniformly and its disturbance self-balances, so only targeted
     /// refreshes are modelled as disturbing.
     fn apply_detections(&mut self, detections: Vec<crate::mitigation::TrrDetection>) {
-        self.stats.trr_detections += detections.len() as u64;
+        self.metrics.trr_detections.add(detections.len() as u64);
         for det in detections {
+            self.metrics.event(
+                EVT_TRR_DETECTION,
+                self.now.as_ns(),
+                &[
+                    ("bank", det.bank.index() as u64),
+                    ("aggressor", det.aggressor.index() as u64),
+                    ("span", det.span.per_side() as u64),
+                ],
+            );
             let victims = self.config.topology.trr_victims(
                 det.aggressor,
                 self.config.geometry.rows_per_bank,
@@ -588,7 +642,7 @@ impl Module {
             );
             for victim in victims {
                 if self.restore_existing(det.bank, victim) {
-                    self.stats.trr_row_refreshes += 1;
+                    self.metrics.trr_row_refreshes.inc();
                 }
                 self.disturb_from(det.bank, victim, 1.0);
             }

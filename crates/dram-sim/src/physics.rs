@@ -206,10 +206,12 @@ impl RowPhysics {
         let mut weak_cells = Vec::new();
         if rng.next_bool(cfg.weak_row_prob) {
             loop {
-                let retention = Nanos::from_ns((rng.next_log_uniform(
-                    cfg.retention_min.as_ns() as f64,
-                    cfg.retention_max.as_ns() as f64,
-                ) * scale) as u64);
+                let retention = Nanos::from_ns(
+                    (rng.next_log_uniform(
+                        cfg.retention_min.as_ns() as f64,
+                        cfg.retention_max.as_ns() as f64,
+                    ) * scale) as u64,
+                );
                 let vrt = if rng.next_bool(cfg.vrt_prob) {
                     Some(VrtState {
                         long_retention: Nanos::from_ns(

@@ -1,7 +1,14 @@
 //! Cumulative device statistics.
 
-/// Counters accumulated over a [`crate::Module`]'s lifetime. Useful for
-/// asserting experiment cost envelopes and for the benchmark harness.
+/// A point-in-time snapshot of the counters accumulated over a
+/// [`crate::Module`]'s lifetime. Useful for asserting experiment cost
+/// envelopes and for the benchmark harness.
+///
+/// Since the observability refactor this is a *view*: the live counts
+/// are named counters in the module's [`obs::MetricsRegistry`] (see
+/// [`crate::metrics`]), and [`crate::Module::stats`] materializes them
+/// into this struct. When several modules share one registry the view
+/// aggregates across all of them.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ModuleStats {
     /// Total row activations (batched hammers count individually).

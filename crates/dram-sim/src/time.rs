@@ -253,9 +253,8 @@ mod tests {
 
     #[test]
     fn sum_of_durations() {
-        let total: Nanos = [Nanos::from_ns(1), Nanos::from_ns(2), Nanos::from_ns(3)]
-            .into_iter()
-            .sum();
+        let total: Nanos =
+            [Nanos::from_ns(1), Nanos::from_ns(2), Nanos::from_ns(3)].into_iter().sum();
         assert_eq!(total.as_ns(), 6);
     }
 }

@@ -1,0 +1,62 @@
+//! Instrumentation overhead smoke test: the Module command path with a
+//! shared (detail-on) registry attached must stay within a few percent
+//! of the default detail-off configuration.
+//!
+//! Wall-clock assertions are inherently noisy, so the test is built to
+//! be flake-resistant rather than precise: both variants run several
+//! interleaved trials, each side keeps its *minimum* (the least
+//! scheduler-disturbed run), and the bound allows a small absolute
+//! epsilon on top of the relative budget so sub-millisecond jitter on
+//! fast machines cannot fail it.
+
+use std::time::{Duration, Instant};
+
+use dram_sim::{Bank, DataPattern, Module, ModuleConfig, RowAddr};
+
+/// A command mix heavy on the per-command path: unbatched hammers (one
+/// ACT each), explicit activate/read/precharge cycles, and periodic
+/// refreshes.
+fn run_workload(module: &mut Module) {
+    let bank = Bank::new(0);
+    module.write_row(bank, RowAddr::new(500), DataPattern::Ones).expect("in range");
+    for i in 0..6_000u32 {
+        let row = RowAddr::new(400 + (i % 128));
+        module.hammer(bank, row, 1).expect("in range");
+        if i % 64 == 0 {
+            module.refresh();
+        }
+    }
+    let _ = module.read_row(bank, RowAddr::new(500)).expect("in range");
+}
+
+fn timed(detail: bool) -> Duration {
+    let mut module = Module::new(ModuleConfig::small_test(), 7);
+    if detail {
+        module.attach_registry(obs::MetricsRegistry::shared());
+    }
+    let start = Instant::now();
+    run_workload(&mut module);
+    start.elapsed()
+}
+
+#[test]
+fn metrics_detail_overhead_is_small() {
+    // Warm up code paths and caches once per variant.
+    let _ = timed(false);
+    let _ = timed(true);
+
+    const TRIALS: usize = 7;
+    let mut best_off = Duration::MAX;
+    let mut best_on = Duration::MAX;
+    for _ in 0..TRIALS {
+        best_off = best_off.min(timed(false));
+        best_on = best_on.min(timed(true));
+    }
+
+    // 5% relative budget plus 10ms absolute epsilon for timer jitter.
+    let budget = best_off + best_off / 20 + Duration::from_millis(10);
+    assert!(
+        best_on <= budget,
+        "detail-on command path too slow: {best_on:?} vs detail-off {best_off:?} (budget {budget:?})"
+    );
+}

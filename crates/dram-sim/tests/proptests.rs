@@ -1,9 +1,7 @@
 //! Property tests on the device's core invariants: mapping bijectivity,
 //! batched-hammer equivalence, refresh coverage, and flip monotonicity.
 
-use dram_sim::{
-    Bank, DataPattern, Module, ModuleConfig, PhysRow, RowAddr, RowMapping, Topology,
-};
+use dram_sim::{Bank, DataPattern, Module, ModuleConfig, PhysRow, RowAddr, RowMapping, Topology};
 use proptest::prelude::*;
 
 fn mapping_strategy() -> impl Strategy<Value = RowMapping> {
@@ -14,10 +12,7 @@ fn mapping_strategy() -> impl Strategy<Value = RowMapping> {
             // A mask strictly below the control bit.
             RowMapping::msb_xor(ctrl, (1 << (ctrl - 1)) | 1)
         }),
-        (
-            1u8..4,
-            prop::collection::vec((0u32..512, 512u32..1024), 0..4)
-        )
+        (1u8..4, prop::collection::vec((0u32..512, 512u32..1024), 0..4))
             .prop_map(|(bits, swaps)| RowMapping::block_mirror(bits).with_swaps(swaps)),
     ]
 }

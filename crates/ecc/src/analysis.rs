@@ -200,6 +200,28 @@ pub fn analyze(code: CodeKind, histogram: &[(u32, u64)], seed: u64) -> EccReport
     report
 }
 
+/// Like [`analyze`], but records the run into a metrics registry: the
+/// outcome tallies land in the `ecc.words.corrected`,
+/// `ecc.words.detected`, and `ecc.words.silent` counters, and the whole
+/// evaluation runs under an `ecc.analyze` span. ECC analysis has no
+/// simulated clock, so the span's simulated duration is zero and only
+/// its wall-clock duration is meaningful.
+pub fn analyze_with_registry(
+    code: CodeKind,
+    histogram: &[(u32, u64)],
+    seed: u64,
+    registry: &std::sync::Arc<obs::MetricsRegistry>,
+) -> EccReport {
+    let words: u64 = histogram.iter().map(|&(_, n)| n).sum();
+    let span = obs::span!(std::sync::Arc::clone(registry), "ecc.analyze", 0, words = words);
+    let report = analyze(code, histogram, seed);
+    registry.counter("ecc.words.corrected").add(report.corrected);
+    registry.counter("ecc.words.detected").add(report.detected);
+    registry.counter("ecc.words.silent").add(report.silent);
+    span.finish(0);
+    report
+}
+
 /// Per-flip-count outcome breakdown for one code — the detailed §7.4
 /// view behind [`analyze`]'s aggregate tallies.
 #[derive(Debug, Clone, PartialEq)]
@@ -331,6 +353,16 @@ mod tests {
         assert_eq!(rs_parity_needed(&[(3, 0)]), None);
         // More flips than symbols saturate at the 8-symbol word size.
         assert_eq!(rs_parity_needed(&[(12, 5)]), Some(8));
+    }
+
+    #[test]
+    fn registry_variant_tallies_outcomes() {
+        let registry = std::sync::Arc::new(obs::MetricsRegistry::new());
+        let report = analyze_with_registry(CodeKind::Secded, &[(1, 200), (2, 100)], 11, &registry);
+        assert_eq!(registry.counter("ecc.words.corrected").get(), report.corrected);
+        assert_eq!(registry.counter("ecc.words.detected").get(), report.detected);
+        assert_eq!(registry.counter("ecc.words.silent").get(), report.silent);
+        assert_eq!(report.total(), 300);
     }
 
     #[test]

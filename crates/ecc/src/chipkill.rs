@@ -94,9 +94,7 @@ impl Chipkill {
         let d0 = self.code.decode(lane0);
         let d1 = self.code.decode(lane1);
         match (&d0, &d1) {
-            (RsDecode::Uncorrectable, _) | (_, RsDecode::Uncorrectable) => {
-                ChipkillDecode::Detected
-            }
+            (RsDecode::Uncorrectable, _) | (_, RsDecode::Uncorrectable) => ChipkillDecode::Detected,
             (RsDecode::Clean(a), RsDecode::Clean(b)) => {
                 ChipkillDecode::Clean(Self::from_lanes(a, b))
             }

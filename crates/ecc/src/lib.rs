@@ -35,7 +35,10 @@ pub mod gf;
 pub mod rs;
 pub mod secded;
 
-pub use analysis::{analyze, analyze_breakdown, rs_parity_needed, CodeKind, EccBreakdown, EccOutcome, EccReport};
+pub use analysis::{
+    analyze, analyze_breakdown, analyze_with_registry, rs_parity_needed, CodeKind, EccBreakdown,
+    EccOutcome, EccReport,
+};
 pub use chipkill::Chipkill;
 pub use rs::ReedSolomon;
 pub use secded::Secded7264;

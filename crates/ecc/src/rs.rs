@@ -117,8 +117,7 @@ impl ReedSolomon {
         for &d in data.iter() {
             let feedback = d ^ remainder[self.parity - 1];
             for j in (1..self.parity).rev() {
-                remainder[j] =
-                    remainder[j - 1] ^ self.field.mul(feedback, self.generator[j]);
+                remainder[j] = remainder[j - 1] ^ self.field.mul(feedback, self.generator[j]);
             }
             remainder[0] = self.field.mul(feedback, self.generator[0]);
         }
@@ -140,8 +139,9 @@ impl ReedSolomon {
         let poly: Vec<u8> = received.iter().rev().copied().collect();
 
         // Syndromes S_j = r(α^j).
-        let syndromes: Vec<u8> =
-            (0..self.parity).map(|j| self.field.poly_eval(&poly, self.field.alpha_pow(j))).collect();
+        let syndromes: Vec<u8> = (0..self.parity)
+            .map(|j| self.field.poly_eval(&poly, self.field.alpha_pow(j)))
+            .collect();
         if syndromes.iter().all(|&s| s == 0) {
             return RsDecode::Clean(received[..self.k].to_vec());
         }
@@ -196,8 +196,8 @@ impl ReedSolomon {
 
         // Re-check: the corrected word must be a codeword.
         let check: Vec<u8> = corrected.iter().rev().copied().collect();
-        let consistent = (0..self.parity)
-            .all(|j| self.field.poly_eval(&check, self.field.alpha_pow(j)) == 0);
+        let consistent =
+            (0..self.parity).all(|j| self.field.poly_eval(&check, self.field.alpha_pow(j)) == 0);
         if consistent {
             RsDecode::Corrected(corrected[..self.k].to_vec())
         } else {

@@ -91,8 +91,7 @@ impl Secded7264 {
         // The overall parity covers every stored bit (data, check bits,
         // and the parity bit itself): any odd number of flips violates
         // it. `encode` chose the parity bit to make the total even.
-        let parity_mismatch =
-            (word.data.count_ones() + word.check.count_ones()) % 2 == 1;
+        let parity_mismatch = (word.data.count_ones() + word.check.count_ones()) % 2 == 1;
         match (syndrome, parity_mismatch) {
             (0, false) => SecdedDecode::Clean(word.data),
             // Overall-parity bit itself flipped.

@@ -108,11 +108,7 @@ impl ModuleSpec {
     /// The simulated geometry (row size fixed at the 8 KiB DIMM-level
     /// row the paper counts 8-byte datawords over).
     pub fn geometry(&self) -> ModuleGeometry {
-        ModuleGeometry {
-            banks: self.banks,
-            rows_per_bank: self.rows_per_bank(),
-            row_bytes: 8192,
-        }
+        ModuleGeometry { banks: self.banks, rows_per_bank: self.rows_per_bank(), row_bytes: 8192 }
     }
 
     /// Victim-row disturbance (in the simulator's units: one unit per
@@ -126,9 +122,7 @@ impl ModuleSpec {
             Vendor::A => 25.0,
             // Interleaved pairs at full budget in (ratio − 1) of ratio
             // intervals.
-            Vendor::B => {
-                148.0 * (self.trr_to_ref_ratio - 1) as f64 / self.trr_to_ref_ratio as f64
-            }
+            Vendor::B => 148.0 * (self.trr_to_ref_ratio - 1) as f64 / self.trr_to_ref_ratio as f64,
             // ~2.15 intervals of window-opening dummies, then interleaved
             // pairs (or a cascaded single aggressor at half weight on the
             // paired-row organization).
@@ -275,12 +269,30 @@ impl ModuleSpec {
                 // bijection at the scaled size; fall back to identity
                 // otherwise.
                 let mapping = self.mapping();
-                if mapping.valid_for(rows_per_bank) { mapping } else { RowMapping::Identity }
+                if mapping.valid_for(rows_per_bank) {
+                    mapping
+                } else {
+                    RowMapping::Identity
+                }
             },
             topology: self.topology(),
             refresh: self.refresh(),
         };
         Module::with_engine(config, self.engine(seed ^ 0x7272), seed)
+    }
+
+    /// Like [`ModuleSpec::build_scaled`], but attaches `registry` to the
+    /// built module so its command counters, latency histograms, and TRR
+    /// engine metrics land in a shared run artifact.
+    pub fn build_scaled_with_registry(
+        &self,
+        rows_per_bank: u32,
+        seed: u64,
+        registry: std::sync::Arc<obs::MetricsRegistry>,
+    ) -> Module {
+        let mut module = self.build_scaled(rows_per_bank, seed);
+        module.attach_registry(registry);
+        module
     }
 }
 
@@ -348,26 +360,350 @@ pub fn catalog() -> Vec<ModuleSpec> {
     use Vendor::{A, B, C};
     let rows = [
         // Vendor A — counter-based, every 9th REF, per-bank, 16 entries.
-        Row { vendor: A, first_idx: 0, count: 1, date: "19-50", density: 8, ranks: 1, banks: 16, pins: 8, hc_first: (16_000, 16_000), version: "A_TRR1", detection: "Counter-based", capacity: Some(16), per_bank: true, ratio: 9, neighbors: 4, vulnerable: (73.3, 73.3), max_flips: (1.16, 1.16) },
-        Row { vendor: A, first_idx: 1, count: 5, date: "19-36", density: 8, ranks: 1, banks: 8, pins: 16, hc_first: (13_000, 15_000), version: "A_TRR1", detection: "Counter-based", capacity: Some(16), per_bank: true, ratio: 9, neighbors: 4, vulnerable: (99.2, 99.4), max_flips: (2.32, 4.73) },
-        Row { vendor: A, first_idx: 6, count: 2, date: "19-45", density: 8, ranks: 1, banks: 8, pins: 16, hc_first: (13_000, 15_000), version: "A_TRR1", detection: "Counter-based", capacity: Some(16), per_bank: true, ratio: 9, neighbors: 4, vulnerable: (99.3, 99.4), max_flips: (2.12, 3.86) },
-        Row { vendor: A, first_idx: 8, count: 2, date: "20-07", density: 8, ranks: 1, banks: 16, pins: 8, hc_first: (12_000, 14_000), version: "A_TRR1", detection: "Counter-based", capacity: Some(16), per_bank: true, ratio: 9, neighbors: 4, vulnerable: (74.6, 75.0), max_flips: (1.96, 2.96) },
-        Row { vendor: A, first_idx: 10, count: 3, date: "19-51", density: 8, ranks: 1, banks: 16, pins: 8, hc_first: (12_000, 13_000), version: "A_TRR1", detection: "Counter-based", capacity: Some(16), per_bank: true, ratio: 9, neighbors: 4, vulnerable: (74.6, 75.0), max_flips: (1.48, 2.86) },
-        Row { vendor: A, first_idx: 13, count: 2, date: "20-31", density: 8, ranks: 1, banks: 8, pins: 16, hc_first: (11_000, 14_000), version: "A_TRR2", detection: "Counter-based", capacity: Some(16), per_bank: true, ratio: 9, neighbors: 2, vulnerable: (94.3, 98.6), max_flips: (1.53, 2.78) },
+        Row {
+            vendor: A,
+            first_idx: 0,
+            count: 1,
+            date: "19-50",
+            density: 8,
+            ranks: 1,
+            banks: 16,
+            pins: 8,
+            hc_first: (16_000, 16_000),
+            version: "A_TRR1",
+            detection: "Counter-based",
+            capacity: Some(16),
+            per_bank: true,
+            ratio: 9,
+            neighbors: 4,
+            vulnerable: (73.3, 73.3),
+            max_flips: (1.16, 1.16),
+        },
+        Row {
+            vendor: A,
+            first_idx: 1,
+            count: 5,
+            date: "19-36",
+            density: 8,
+            ranks: 1,
+            banks: 8,
+            pins: 16,
+            hc_first: (13_000, 15_000),
+            version: "A_TRR1",
+            detection: "Counter-based",
+            capacity: Some(16),
+            per_bank: true,
+            ratio: 9,
+            neighbors: 4,
+            vulnerable: (99.2, 99.4),
+            max_flips: (2.32, 4.73),
+        },
+        Row {
+            vendor: A,
+            first_idx: 6,
+            count: 2,
+            date: "19-45",
+            density: 8,
+            ranks: 1,
+            banks: 8,
+            pins: 16,
+            hc_first: (13_000, 15_000),
+            version: "A_TRR1",
+            detection: "Counter-based",
+            capacity: Some(16),
+            per_bank: true,
+            ratio: 9,
+            neighbors: 4,
+            vulnerable: (99.3, 99.4),
+            max_flips: (2.12, 3.86),
+        },
+        Row {
+            vendor: A,
+            first_idx: 8,
+            count: 2,
+            date: "20-07",
+            density: 8,
+            ranks: 1,
+            banks: 16,
+            pins: 8,
+            hc_first: (12_000, 14_000),
+            version: "A_TRR1",
+            detection: "Counter-based",
+            capacity: Some(16),
+            per_bank: true,
+            ratio: 9,
+            neighbors: 4,
+            vulnerable: (74.6, 75.0),
+            max_flips: (1.96, 2.96),
+        },
+        Row {
+            vendor: A,
+            first_idx: 10,
+            count: 3,
+            date: "19-51",
+            density: 8,
+            ranks: 1,
+            banks: 16,
+            pins: 8,
+            hc_first: (12_000, 13_000),
+            version: "A_TRR1",
+            detection: "Counter-based",
+            capacity: Some(16),
+            per_bank: true,
+            ratio: 9,
+            neighbors: 4,
+            vulnerable: (74.6, 75.0),
+            max_flips: (1.48, 2.86),
+        },
+        Row {
+            vendor: A,
+            first_idx: 13,
+            count: 2,
+            date: "20-31",
+            density: 8,
+            ranks: 1,
+            banks: 8,
+            pins: 16,
+            hc_first: (11_000, 14_000),
+            version: "A_TRR2",
+            detection: "Counter-based",
+            capacity: Some(16),
+            per_bank: true,
+            ratio: 9,
+            neighbors: 2,
+            vulnerable: (94.3, 98.6),
+            max_flips: (1.53, 2.78),
+        },
         // Vendor B — sampling-based, single shared register (B_TRR3: per bank).
-        Row { vendor: B, first_idx: 0, count: 1, date: "18-22", density: 4, ranks: 1, banks: 16, pins: 8, hc_first: (44_000, 44_000), version: "B_TRR1", detection: "Sampling-based", capacity: Some(1), per_bank: false, ratio: 4, neighbors: 2, vulnerable: (99.9, 99.9), max_flips: (2.13, 2.13) },
-        Row { vendor: B, first_idx: 1, count: 4, date: "20-17", density: 4, ranks: 1, banks: 16, pins: 8, hc_first: (159_000, 192_000), version: "B_TRR1", detection: "Sampling-based", capacity: Some(1), per_bank: false, ratio: 4, neighbors: 2, vulnerable: (23.3, 51.2), max_flips: (0.06, 0.11) },
-        Row { vendor: B, first_idx: 5, count: 2, date: "16-48", density: 4, ranks: 1, banks: 16, pins: 8, hc_first: (44_000, 50_000), version: "B_TRR1", detection: "Sampling-based", capacity: Some(1), per_bank: false, ratio: 4, neighbors: 2, vulnerable: (99.9, 99.9), max_flips: (1.85, 2.03) },
-        Row { vendor: B, first_idx: 7, count: 1, date: "19-06", density: 8, ranks: 2, banks: 16, pins: 8, hc_first: (20_000, 20_000), version: "B_TRR1", detection: "Sampling-based", capacity: Some(1), per_bank: false, ratio: 4, neighbors: 2, vulnerable: (99.9, 99.9), max_flips: (31.14, 31.14) },
-        Row { vendor: B, first_idx: 8, count: 1, date: "18-03", density: 4, ranks: 1, banks: 16, pins: 8, hc_first: (43_000, 43_000), version: "B_TRR1", detection: "Sampling-based", capacity: Some(1), per_bank: false, ratio: 4, neighbors: 2, vulnerable: (99.9, 99.9), max_flips: (2.57, 2.57) },
-        Row { vendor: B, first_idx: 9, count: 4, date: "19-48", density: 8, ranks: 1, banks: 16, pins: 8, hc_first: (42_000, 65_000), version: "B_TRR2", detection: "Sampling-based", capacity: Some(1), per_bank: false, ratio: 9, neighbors: 2, vulnerable: (36.3, 38.9), max_flips: (16.83, 24.26) },
-        Row { vendor: B, first_idx: 13, count: 2, date: "20-08", density: 4, ranks: 1, banks: 16, pins: 8, hc_first: (11_000, 14_000), version: "B_TRR3", detection: "Sampling-based", capacity: Some(1), per_bank: true, ratio: 2, neighbors: 4, vulnerable: (99.9, 99.9), max_flips: (16.20, 18.12) },
+        Row {
+            vendor: B,
+            first_idx: 0,
+            count: 1,
+            date: "18-22",
+            density: 4,
+            ranks: 1,
+            banks: 16,
+            pins: 8,
+            hc_first: (44_000, 44_000),
+            version: "B_TRR1",
+            detection: "Sampling-based",
+            capacity: Some(1),
+            per_bank: false,
+            ratio: 4,
+            neighbors: 2,
+            vulnerable: (99.9, 99.9),
+            max_flips: (2.13, 2.13),
+        },
+        Row {
+            vendor: B,
+            first_idx: 1,
+            count: 4,
+            date: "20-17",
+            density: 4,
+            ranks: 1,
+            banks: 16,
+            pins: 8,
+            hc_first: (159_000, 192_000),
+            version: "B_TRR1",
+            detection: "Sampling-based",
+            capacity: Some(1),
+            per_bank: false,
+            ratio: 4,
+            neighbors: 2,
+            vulnerable: (23.3, 51.2),
+            max_flips: (0.06, 0.11),
+        },
+        Row {
+            vendor: B,
+            first_idx: 5,
+            count: 2,
+            date: "16-48",
+            density: 4,
+            ranks: 1,
+            banks: 16,
+            pins: 8,
+            hc_first: (44_000, 50_000),
+            version: "B_TRR1",
+            detection: "Sampling-based",
+            capacity: Some(1),
+            per_bank: false,
+            ratio: 4,
+            neighbors: 2,
+            vulnerable: (99.9, 99.9),
+            max_flips: (1.85, 2.03),
+        },
+        Row {
+            vendor: B,
+            first_idx: 7,
+            count: 1,
+            date: "19-06",
+            density: 8,
+            ranks: 2,
+            banks: 16,
+            pins: 8,
+            hc_first: (20_000, 20_000),
+            version: "B_TRR1",
+            detection: "Sampling-based",
+            capacity: Some(1),
+            per_bank: false,
+            ratio: 4,
+            neighbors: 2,
+            vulnerable: (99.9, 99.9),
+            max_flips: (31.14, 31.14),
+        },
+        Row {
+            vendor: B,
+            first_idx: 8,
+            count: 1,
+            date: "18-03",
+            density: 4,
+            ranks: 1,
+            banks: 16,
+            pins: 8,
+            hc_first: (43_000, 43_000),
+            version: "B_TRR1",
+            detection: "Sampling-based",
+            capacity: Some(1),
+            per_bank: false,
+            ratio: 4,
+            neighbors: 2,
+            vulnerable: (99.9, 99.9),
+            max_flips: (2.57, 2.57),
+        },
+        Row {
+            vendor: B,
+            first_idx: 9,
+            count: 4,
+            date: "19-48",
+            density: 8,
+            ranks: 1,
+            banks: 16,
+            pins: 8,
+            hc_first: (42_000, 65_000),
+            version: "B_TRR2",
+            detection: "Sampling-based",
+            capacity: Some(1),
+            per_bank: false,
+            ratio: 9,
+            neighbors: 2,
+            vulnerable: (36.3, 38.9),
+            max_flips: (16.83, 24.26),
+        },
+        Row {
+            vendor: B,
+            first_idx: 13,
+            count: 2,
+            date: "20-08",
+            density: 4,
+            ranks: 1,
+            banks: 16,
+            pins: 8,
+            hc_first: (11_000, 14_000),
+            version: "B_TRR3",
+            detection: "Sampling-based",
+            capacity: Some(1),
+            per_bank: true,
+            ratio: 2,
+            neighbors: 4,
+            vulnerable: (99.9, 99.9),
+            max_flips: (16.20, 18.12),
+        },
         // Vendor C — mixed/windowed; C_TRR1 parts use paired rows.
-        Row { vendor: C, first_idx: 0, count: 4, date: "16-48", density: 4, ranks: 1, banks: 16, pins: 8, hc_first: (137_000, 194_000), version: "C_TRR1", detection: "Mix", capacity: None, per_bank: true, ratio: 17, neighbors: 2, vulnerable: (1.0, 23.2), max_flips: (0.05, 0.15) },
-        Row { vendor: C, first_idx: 4, count: 3, date: "17-12", density: 8, ranks: 1, banks: 16, pins: 8, hc_first: (130_000, 150_000), version: "C_TRR1", detection: "Mix", capacity: None, per_bank: true, ratio: 17, neighbors: 2, vulnerable: (7.8, 12.0), max_flips: (0.06, 0.08) },
-        Row { vendor: C, first_idx: 7, count: 2, date: "20-31", density: 8, ranks: 1, banks: 8, pins: 16, hc_first: (40_000, 44_000), version: "C_TRR1", detection: "Mix", capacity: None, per_bank: true, ratio: 17, neighbors: 2, vulnerable: (39.8, 41.8), max_flips: (9.66, 14.56) },
-        Row { vendor: C, first_idx: 9, count: 3, date: "20-31", density: 8, ranks: 1, banks: 8, pins: 16, hc_first: (42_000, 53_000), version: "C_TRR2", detection: "Mix", capacity: None, per_bank: true, ratio: 9, neighbors: 2, vulnerable: (99.7, 99.7), max_flips: (9.30, 32.04) },
-        Row { vendor: C, first_idx: 12, count: 3, date: "20-46", density: 16, ranks: 1, banks: 8, pins: 16, hc_first: (6_000, 7_000), version: "C_TRR3", detection: "Mix", capacity: None, per_bank: true, ratio: 8, neighbors: 2, vulnerable: (99.9, 99.9), max_flips: (4.91, 12.64) },
+        Row {
+            vendor: C,
+            first_idx: 0,
+            count: 4,
+            date: "16-48",
+            density: 4,
+            ranks: 1,
+            banks: 16,
+            pins: 8,
+            hc_first: (137_000, 194_000),
+            version: "C_TRR1",
+            detection: "Mix",
+            capacity: None,
+            per_bank: true,
+            ratio: 17,
+            neighbors: 2,
+            vulnerable: (1.0, 23.2),
+            max_flips: (0.05, 0.15),
+        },
+        Row {
+            vendor: C,
+            first_idx: 4,
+            count: 3,
+            date: "17-12",
+            density: 8,
+            ranks: 1,
+            banks: 16,
+            pins: 8,
+            hc_first: (130_000, 150_000),
+            version: "C_TRR1",
+            detection: "Mix",
+            capacity: None,
+            per_bank: true,
+            ratio: 17,
+            neighbors: 2,
+            vulnerable: (7.8, 12.0),
+            max_flips: (0.06, 0.08),
+        },
+        Row {
+            vendor: C,
+            first_idx: 7,
+            count: 2,
+            date: "20-31",
+            density: 8,
+            ranks: 1,
+            banks: 8,
+            pins: 16,
+            hc_first: (40_000, 44_000),
+            version: "C_TRR1",
+            detection: "Mix",
+            capacity: None,
+            per_bank: true,
+            ratio: 17,
+            neighbors: 2,
+            vulnerable: (39.8, 41.8),
+            max_flips: (9.66, 14.56),
+        },
+        Row {
+            vendor: C,
+            first_idx: 9,
+            count: 3,
+            date: "20-31",
+            density: 8,
+            ranks: 1,
+            banks: 8,
+            pins: 16,
+            hc_first: (42_000, 53_000),
+            version: "C_TRR2",
+            detection: "Mix",
+            capacity: None,
+            per_bank: true,
+            ratio: 9,
+            neighbors: 2,
+            vulnerable: (99.7, 99.7),
+            max_flips: (9.30, 32.04),
+        },
+        Row {
+            vendor: C,
+            first_idx: 12,
+            count: 3,
+            date: "20-46",
+            density: 16,
+            ranks: 1,
+            banks: 8,
+            pins: 16,
+            hc_first: (6_000, 7_000),
+            version: "C_TRR3",
+            detection: "Mix",
+            capacity: None,
+            per_bank: true,
+            ratio: 8,
+            neighbors: 2,
+            vulnerable: (99.9, 99.9),
+            max_flips: (4.91, 12.64),
+        },
     ];
     let mut out = Vec::with_capacity(45);
     for row in &rows {
@@ -482,6 +818,22 @@ mod tests {
         let b0 = by_id("B0").unwrap().build_scaled(1024, 3);
         assert_eq!(b0.engine_name(), "B_TRR1");
         assert_eq!(b0.config().refresh.period_refs, 8192);
+    }
+
+    #[test]
+    fn registry_builds_share_one_artifact() {
+        let registry = std::sync::Arc::new(obs::MetricsRegistry::new());
+        let mut m = by_id("A5").unwrap().build_scaled_with_registry(
+            1024,
+            3,
+            std::sync::Arc::clone(&registry),
+        );
+        m.hammer(dram_sim::Bank::new(0), dram_sim::RowAddr::new(10), 50).unwrap();
+        assert_eq!(registry.counter("dram.cmd.act").get(), 50);
+        // Attaching also re-registers the engine's counters on the
+        // shared registry.
+        let names: Vec<String> = registry.counters_snapshot().into_iter().map(|(n, _)| n).collect();
+        assert!(names.iter().any(|n| n == "trr.A_TRR1.detections"), "{names:?}");
     }
 
     #[test]

@@ -1,0 +1,54 @@
+//! Workspace-wide instrumentation layer.
+//!
+//! Every layer of the U-TRR reproduction — the device model, the SoftMC
+//! controller, the methodology passes, and the bench binaries — reports
+//! into one [`MetricsRegistry`]:
+//!
+//! - **Counters and gauges** ([`Counter`], [`Gauge`]): named atomic
+//!   cells. Handles are `Arc`-backed and lock-free on the hot path, so
+//!   parallel sweeps can share one registry; the registry lock is taken
+//!   only at registration time.
+//! - **Histograms** ([`Histogram`]): log₂-binned distributions with
+//!   count/sum/min/max and quantile estimates accurate to one bin.
+//! - **Spans** ([`SpanGuard`], [`span!`]): hierarchical timed regions
+//!   carrying both wall-clock and simulated-time durations, kept in a
+//!   bounded ring buffer.
+//! - **Events**: rare, high-value moments (a bit flip with its
+//!   bank/row/bit coordinates, a TRR detection) timestamped in
+//!   simulated time.
+//!
+//! [`jsonl::write_jsonl`] serialises all of the above as one JSON
+//! object per line — diffable across runs and parseable without serde
+//! via [`jsonl::parse_json`]. [`report::render_summary`] renders the
+//! human-readable end-of-run table the bench binaries print.
+//!
+//! The crate has **no external dependencies**: serialization is
+//! hand-rolled and all synchronisation is `std`.
+
+pub mod jsonl;
+pub mod metrics;
+pub mod report;
+pub mod span;
+
+pub use metrics::{
+    bin_index, bin_lower_bound, bin_upper_bound, Counter, EventRecord, Gauge, Histogram,
+    HistogramSnapshot, MetricsRegistry, BIN_COUNT,
+};
+pub use span::{SpanGuard, SpanRecord};
+
+/// Opens a span on a registry: `span!(reg, "name", sim_now, key = val, …)`.
+///
+/// `sim_now` is the current simulated time in nanoseconds; extra
+/// `key = value` pairs become span fields (values convert `as u64`).
+/// The returned [`SpanGuard`] closes the span when dropped, or — to
+/// also record the simulated-time duration — via
+/// [`SpanGuard::finish`] with the simulated clock at close.
+#[macro_export]
+macro_rules! span {
+    ($registry:expr, $name:expr, $sim_now:expr $(, $key:ident = $value:expr)* $(,)?) => {{
+        #[allow(unused_mut)]
+        let mut guard = $crate::MetricsRegistry::span(&$registry, $name, $sim_now);
+        $(guard.set_field(stringify!($key), $value as u64);)*
+        guard
+    }};
+}

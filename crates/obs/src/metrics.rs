@@ -1,0 +1,439 @@
+//! Named counters, gauges, log₂-binned histograms, and events.
+//!
+//! Handles returned by the registry are cheap `Arc` clones over atomic
+//! cells: the hot path (a simulator command) touches only relaxed
+//! atomics, never the registry lock, so parallel sweeps can hammer one
+//! shared registry without contention.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::span::{SpanCollector, SpanGuard, SpanRecord};
+
+/// Number of histogram bins: bin 0 holds zeros, bin `b ≥ 1` holds
+/// values in `[2^(b-1), 2^b)`, up to bin 64 for the top of the u64
+/// range.
+pub const BIN_COUNT: usize = 65;
+
+/// Cap on buffered [`EventRecord`]s; later events are counted as
+/// dropped rather than stored.
+const EVENT_CAPACITY: usize = 65_536;
+
+/// The bin a value falls into (log₂ binning).
+#[inline]
+pub fn bin_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// Smallest value belonging to a bin.
+#[inline]
+pub fn bin_lower_bound(bin: usize) -> u64 {
+    if bin == 0 {
+        0
+    } else {
+        1u64 << (bin - 1)
+    }
+}
+
+/// Largest value belonging to a bin.
+#[inline]
+pub fn bin_upper_bound(bin: usize) -> u64 {
+    if bin == 0 {
+        0
+    } else if bin >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bin) - 1
+    }
+}
+
+/// A monotonically increasing named count.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current count.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A named last-written value.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    cell: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, value: u64) {
+        self.cell.store(value, Ordering::Relaxed);
+    }
+
+    /// Raises the value to `candidate` if larger.
+    #[inline]
+    pub fn set_max(&self, candidate: u64) {
+        self.cell.fetch_max(candidate, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    bins: [AtomicU64; BIN_COUNT],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for HistogramCore {
+    fn default() -> Self {
+        HistogramCore {
+            bins: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A named log₂-binned value distribution.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    core: Arc<HistogramCore>,
+}
+
+impl Histogram {
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` observations of the same value in O(1) — used by the
+    /// simulator's batched command paths so a 5 000-activation hammer
+    /// costs one update, not 5 000.
+    #[inline]
+    pub fn record_n(&self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let core = &*self.core;
+        core.bins[bin_index(value)].fetch_add(n, Ordering::Relaxed);
+        core.count.fetch_add(n, Ordering::Relaxed);
+        core.sum.fetch_add(value.wrapping_mul(n), Ordering::Relaxed);
+        core.min.fetch_min(value, Ordering::Relaxed);
+        core.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the distribution.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let core = &*self.core;
+        HistogramSnapshot {
+            bins: std::array::from_fn(|b| core.bins[b].load(Ordering::Relaxed)),
+            count: core.count.load(Ordering::Relaxed),
+            sum: core.sum.load(Ordering::Relaxed),
+            min: core.min.load(Ordering::Relaxed),
+            max: core.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An owned copy of a [`Histogram`]'s state, supporting quantile
+/// estimation and merging.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bin observation counts (see [`bin_index`]).
+    pub bins: [u64; BIN_COUNT],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values (wrapping).
+    pub sum: u64,
+    /// Smallest observed value (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest observed value (0 when empty).
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot { bins: [0; BIN_COUNT], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`). The estimate is the
+    /// upper bound of the bin containing the true quantile, clamped to
+    /// the observed min/max — so it is off by at most one bin.
+    /// Returns `None` when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // The rank of the target observation, 1-based.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (bin, &n) in self.bins.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Some(bin_upper_bound(bin).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// The arithmetic mean, `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+
+    /// Combines two snapshots, as if every observation of both had been
+    /// recorded into one histogram.
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bins: std::array::from_fn(|b| self.bins[b] + other.bins[b]),
+            count: self.count + other.count,
+            sum: self.sum.wrapping_add(other.sum),
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
+    }
+}
+
+/// A rare, high-value moment: a bit flip, a TRR detection. Timestamped
+/// in simulated nanoseconds with integer coordinate fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventRecord {
+    /// Simulated time of the event, in nanoseconds.
+    pub t_sim: u64,
+    /// Event kind, dotted-path style (`"dram.bit_flip"`).
+    pub kind: String,
+    /// Coordinates and attributes (`("bank", 1), ("row", 4242)`, …).
+    pub fields: Vec<(String, u64)>,
+}
+
+#[derive(Debug, Default)]
+struct EventBuffer {
+    events: Vec<EventRecord>,
+    dropped: u64,
+}
+
+/// The central sink all layers report into.
+///
+/// Construction is cheap; the simulator gives every `Module` a private
+/// registry by default so unit tests stay isolated, and callers that
+/// want one artifact per run share a single `Arc<MetricsRegistry>`
+/// across modules, controllers, and methodology passes.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+    events: Mutex<EventBuffer>,
+    spans: SpanCollector,
+    detail: AtomicBool,
+}
+
+impl MetricsRegistry {
+    /// An empty registry with detail recording **off**.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty shared registry with detail recording **on** — the
+    /// constructor run artifacts use.
+    pub fn shared() -> Arc<Self> {
+        let registry = Self::new();
+        registry.set_detail(true);
+        Arc::new(registry)
+    }
+
+    /// Whether detail instrumentation (histograms, events) should be
+    /// recorded. Counters and spans are always live; hot paths consult
+    /// this flag before histogram/event work so that metrics stay
+    /// within the ≤5 % command-path overhead budget when detail is not
+    /// wanted.
+    #[inline]
+    pub fn detail_enabled(&self) -> bool {
+        self.detail.load(Ordering::Relaxed)
+    }
+
+    /// Turns detail instrumentation on or off.
+    pub fn set_detail(&self, enabled: bool) {
+        self.detail.store(enabled, Ordering::Relaxed);
+    }
+
+    /// The counter registered under `name`, creating it at zero on
+    /// first use. The handle is lock-free; keep it around rather than
+    /// re-looking it up in a loop.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.counters.lock().unwrap();
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The gauge registered under `name` (see [`Self::counter`]).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.gauges.lock().unwrap();
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The histogram registered under `name` (see [`Self::counter`]).
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut map = self.histograms.lock().unwrap();
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Records an event if detail is enabled and the buffer has room;
+    /// overflow is tallied, not stored.
+    pub fn event(&self, kind: &str, t_sim: u64, fields: &[(&str, u64)]) {
+        if !self.detail_enabled() {
+            return;
+        }
+        let mut buffer = self.events.lock().unwrap();
+        if buffer.events.len() >= EVENT_CAPACITY {
+            buffer.dropped += 1;
+            return;
+        }
+        buffer.events.push(EventRecord {
+            t_sim,
+            kind: kind.to_string(),
+            fields: fields.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        });
+    }
+
+    /// Opens a span named `name` at simulated time `sim_now`; the
+    /// parent is the innermost span still open on this thread. Prefer
+    /// the [`crate::span!`] macro, which also attaches fields.
+    pub fn span(self: &Arc<Self>, name: &str, sim_now: u64) -> SpanGuard {
+        SpanGuard::open(Arc::clone(self), name, sim_now)
+    }
+
+    /// The span collector (used by [`SpanGuard`]).
+    pub(crate) fn span_collector(&self) -> &SpanCollector {
+        &self.spans
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters_snapshot(&self) -> Vec<(String, u64)> {
+        self.counters.lock().unwrap().iter().map(|(k, v)| (k.clone(), v.get())).collect()
+    }
+
+    /// All gauges, sorted by name.
+    pub fn gauges_snapshot(&self) -> Vec<(String, u64)> {
+        self.gauges.lock().unwrap().iter().map(|(k, v)| (k.clone(), v.get())).collect()
+    }
+
+    /// All histograms, sorted by name.
+    pub fn histograms_snapshot(&self) -> Vec<(String, HistogramSnapshot)> {
+        self.histograms.lock().unwrap().iter().map(|(k, v)| (k.clone(), v.snapshot())).collect()
+    }
+
+    /// Buffered events in arrival order, plus how many overflowed.
+    pub fn events_snapshot(&self) -> (Vec<EventRecord>, u64) {
+        let buffer = self.events.lock().unwrap();
+        (buffer.events.clone(), buffer.dropped)
+    }
+
+    /// Closed spans in completion order, plus how many the ring
+    /// evicted.
+    pub fn spans_snapshot(&self) -> (Vec<SpanRecord>, u64) {
+        self.spans.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_handles_share_one_cell() {
+        let registry = MetricsRegistry::new();
+        let a = registry.counter("x");
+        let b = registry.counter("x");
+        a.add(3);
+        b.inc();
+        assert_eq!(registry.counter("x").get(), 4);
+        assert_eq!(registry.counters_snapshot(), vec![("x".to_string(), 4)]);
+    }
+
+    #[test]
+    fn gauge_set_and_max() {
+        let registry = MetricsRegistry::new();
+        let g = registry.gauge("depth");
+        g.set(7);
+        g.set_max(3);
+        assert_eq!(g.get(), 7);
+        g.set_max(11);
+        assert_eq!(g.get(), 11);
+    }
+
+    #[test]
+    fn events_respect_detail_flag() {
+        let registry = MetricsRegistry::new();
+        registry.event("dram.bit_flip", 10, &[("bank", 1)]);
+        assert_eq!(registry.events_snapshot().0.len(), 0);
+        registry.set_detail(true);
+        registry.event("dram.bit_flip", 10, &[("bank", 1), ("row", 42)]);
+        let (events, dropped) = registry.events_snapshot();
+        assert_eq!(dropped, 0);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, "dram.bit_flip");
+        assert_eq!(events[0].fields[1], ("row".to_string(), 42));
+    }
+
+    #[test]
+    fn counters_are_safe_under_parallel_writers() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let registry = Arc::clone(&registry);
+                std::thread::spawn(move || {
+                    let c = registry.counter("shared");
+                    let h = registry.histogram("h");
+                    for i in 0..10_000u64 {
+                        c.inc();
+                        h.record(i % 128);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(registry.counter("shared").get(), 40_000);
+        assert_eq!(registry.histogram("h").snapshot().count, 40_000);
+    }
+}

@@ -1,0 +1,154 @@
+//! Human-readable end-of-run summary, printed by the bench binaries
+//! alongside the JSONL artifact.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::metrics::MetricsRegistry;
+
+/// Renders counters, histograms, and per-span-name aggregates as an
+/// aligned plain-text table. Empty sections are omitted; an empty
+/// registry renders an explicit placeholder.
+pub fn render_summary(registry: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    let counters = registry.counters_snapshot();
+    let gauges = registry.gauges_snapshot();
+    let histograms: Vec<_> = registry
+        .histograms_snapshot()
+        .into_iter()
+        .filter(|(_, snapshot)| snapshot.count > 0)
+        .collect();
+    let (spans, evicted) = registry.spans_snapshot();
+    let (events, dropped) = registry.events_snapshot();
+
+    if counters.is_empty() && gauges.is_empty() && histograms.is_empty() && spans.is_empty() {
+        return "metrics: (none recorded)\n".to_string();
+    }
+
+    let name_width = counters
+        .iter()
+        .map(|(name, _)| name.len())
+        .chain(gauges.iter().map(|(name, _)| name.len()))
+        .chain(histograms.iter().map(|(name, _)| name.len()))
+        .max()
+        .unwrap_or(0)
+        .max(12);
+
+    if !counters.is_empty() {
+        let _ = writeln!(out, "counters");
+        for (name, value) in &counters {
+            let _ = writeln!(out, "  {name:<name_width$} {value:>14}");
+        }
+    }
+    if !gauges.is_empty() {
+        let _ = writeln!(out, "gauges");
+        for (name, value) in &gauges {
+            let _ = writeln!(out, "  {name:<name_width$} {value:>14}");
+        }
+    }
+    if !histograms.is_empty() {
+        let _ = writeln!(
+            out,
+            "histograms ({:<width$}  {:>10} {:>12} {:>12} {:>12})",
+            "name",
+            "count",
+            "p50",
+            "p99",
+            "max",
+            width = name_width.saturating_sub(1),
+        );
+        for (name, snapshot) in &histograms {
+            let _ = writeln!(
+                out,
+                "  {name:<name_width$} {:>10} {:>12} {:>12} {:>12}",
+                snapshot.count,
+                snapshot.quantile(0.50).unwrap_or(0),
+                snapshot.quantile(0.99).unwrap_or(0),
+                snapshot.max,
+            );
+        }
+    }
+
+    if !spans.is_empty() {
+        // Aggregate by span name: count, total wall time, total sim time.
+        let mut by_name: BTreeMap<&str, (u64, u64, u64)> = BTreeMap::new();
+        for span in &spans {
+            let entry = by_name.entry(span.name.as_str()).or_default();
+            entry.0 += 1;
+            entry.1 += span.wall_ns;
+            entry.2 += span.sim_end.saturating_sub(span.sim_start);
+        }
+        let span_width = by_name.keys().map(|name| name.len()).max().unwrap_or(0).max(12);
+        let _ = writeln!(
+            out,
+            "spans      ({:<width$}  {:>10} {:>12} {:>14})",
+            "name",
+            "count",
+            "wall_ms",
+            "sim_ms",
+            width = span_width.saturating_sub(1),
+        );
+        for (name, (count, wall_ns, sim_ns)) in &by_name {
+            let _ = writeln!(
+                out,
+                "  {name:<span_width$} {count:>10} {:>12.3} {:>14.3}",
+                *wall_ns as f64 / 1e6,
+                *sim_ns as f64 / 1e6,
+            );
+        }
+        if evicted > 0 {
+            let _ = writeln!(out, "  (ring evicted {evicted} older spans)");
+        }
+    }
+
+    if !events.is_empty() || dropped > 0 {
+        let mut by_kind: BTreeMap<&str, u64> = BTreeMap::new();
+        for event in &events {
+            *by_kind.entry(event.kind.as_str()).or_default() += 1;
+        }
+        let _ = writeln!(out, "events");
+        for (kind, count) in &by_kind {
+            let _ = writeln!(out, "  {kind:<name_width$} {count:>14}");
+        }
+        if dropped > 0 {
+            let _ = writeln!(out, "  (buffer dropped {dropped} events)");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn empty_registry_renders_placeholder() {
+        assert_eq!(render_summary(&MetricsRegistry::new()), "metrics: (none recorded)\n");
+    }
+
+    #[test]
+    fn summary_lists_every_section() {
+        let registry = Arc::new(MetricsRegistry::new());
+        registry.set_detail(true);
+        registry.counter("dram.cmd.act").add(9);
+        registry.gauge("live").set(2);
+        registry.histogram("lat").record(100);
+        registry.span("pass", 0).finish(1_000_000);
+        registry.event("dram.bit_flip", 5, &[("row", 1)]);
+        let summary = render_summary(&registry);
+        for needle in [
+            "counters",
+            "dram.cmd.act",
+            "gauges",
+            "histograms",
+            "lat",
+            "spans",
+            "pass",
+            "events",
+            "dram.bit_flip",
+        ] {
+            assert!(summary.contains(needle), "missing {needle} in:\n{summary}");
+        }
+    }
+}

@@ -1,9 +1,7 @@
 //! The memory controller: high-level building blocks over raw DDR
 //! commands.
 
-use dram_sim::{
-    Bank, DataPattern, DramError, Module, Nanos, RowAddr, RowReadout,
-};
+use dram_sim::{Bank, DataPattern, DramError, Module, Nanos, RowAddr, RowReadout};
 
 /// The order in which multiple aggressor rows are hammered (§5.2).
 ///
@@ -93,6 +91,21 @@ impl MemoryController {
     /// Releases the device.
     pub fn into_module(self) -> Module {
         self.module
+    }
+
+    /// The metrics registry of the underlying device.
+    pub fn registry(&self) -> &std::sync::Arc<obs::MetricsRegistry> {
+        self.module.registry()
+    }
+
+    /// Replays a recorded trace onto the underlying device (see
+    /// [`crate::CommandTrace::replay`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates device protocol errors.
+    pub fn replay(&mut self, trace: &crate::CommandTrace) -> Result<(), DramError> {
+        trace.replay(&mut self.module)
     }
 
     /// Current device time.
@@ -235,8 +248,7 @@ impl MemoryController {
         count: usize,
     ) -> Vec<RowAddr> {
         let rows = self.module.geometry().rows_per_bank;
-        let avoid_phys: Vec<u32> =
-            avoid.iter().map(|&r| self.module.phys_of(r).index()).collect();
+        let avoid_phys: Vec<u32> = avoid.iter().map(|&r| self.module.phys_of(r).index()).collect();
         let mut out = Vec::with_capacity(count);
         let mut candidate = 0u32;
         while out.len() < count && candidate < rows {
@@ -245,9 +257,8 @@ impl MemoryController {
             let clear = avoid_phys.iter().all(|&a| phys.abs_diff(a) >= min_distance);
             // Also keep dummies spread apart so they occupy distinct TRR
             // tracker entries.
-            let spread = out
-                .iter()
-                .all(|&r: &RowAddr| self.module.phys_of(r).index().abs_diff(phys) >= 4);
+            let spread =
+                out.iter().all(|&r: &RowAddr| self.module.phys_of(r).index().abs_diff(phys) >= 4);
             if clear && spread {
                 out.push(logical);
             }
@@ -278,9 +289,9 @@ impl MemoryController {
         let refs_per_period = timings.refs_per_64ms();
         let budget = timings.max_hammers_per_refi();
         let per_dummy = (budget / dummies.len() as u64).max(1);
-        let idle = timings.t_refi.saturating_sub(
-            timings.t_rfc + timings.t_rc() * (per_dummy * dummies.len() as u64),
-        );
+        let idle = timings
+            .t_refi
+            .saturating_sub(timings.t_rfc + timings.t_rc() * (per_dummy * dummies.len() as u64));
         for _ in 0..periods {
             for _ in 0..refs_per_period {
                 for &dummy in dummies {
@@ -377,10 +388,7 @@ mod tests {
         for pattern in [DataPattern::Ones, DataPattern::Zeros] {
             mc.write_row(bank, weak, pattern).unwrap();
             mc.wait_with_refresh(Nanos::from_ms(2_000));
-            assert!(
-                mc.read_row(bank, weak).unwrap().is_clean(),
-                "refreshed rows must never decay"
-            );
+            assert!(mc.read_row(bank, weak).unwrap().is_clean(), "refreshed rows must never decay");
         }
     }
 

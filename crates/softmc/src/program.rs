@@ -237,11 +237,7 @@ mod tests {
     fn refresh_and_wait_instructions_advance_state() {
         let mut m = module();
         let t0 = m.now();
-        Program::new()
-            .refresh_n(3)
-            .wait(Nanos::from_us(10))
-            .run(&mut m)
-            .unwrap();
+        Program::new().refresh_n(3).wait(Nanos::from_us(10)).run(&mut m).unwrap();
         assert_eq!(m.ref_count(), 3);
         assert_eq!(m.now() - t0, m.timings().t_rfc * 3 + Nanos::from_us(10));
     }

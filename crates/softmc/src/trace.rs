@@ -127,10 +127,8 @@ fn parse_pattern(token: &str) -> Result<DataPattern, TraceParseError> {
             if hex.is_empty() || hex.len() % 2 != 0 {
                 return Err(TraceParseError::bad_field(token));
             }
-            let bytes: Result<Vec<u8>, _> = (0..hex.len())
-                .step_by(2)
-                .map(|i| u8::from_str_radix(&hex[i..i + 2], 16))
-                .collect();
+            let bytes: Result<Vec<u8>, _> =
+                (0..hex.len()).step_by(2).map(|i| u8::from_str_radix(&hex[i..i + 2], 16)).collect();
             Ok(DataPattern::Custom(Arc::from(
                 bytes.map_err(|_| TraceParseError::bad_field(token))?,
             )))
@@ -244,11 +242,29 @@ impl CommandTrace {
     /// Replays the trace onto a module, advancing the module's clock to
     /// each entry's timestamp before issuing it.
     ///
+    /// The replay is wrapped in a `softmc.trace.replay` span on the
+    /// module's metrics registry, tagged with the command count; the span
+    /// closes at the module's clock after the last replayed entry, even
+    /// when the replay fails partway.
+    ///
     /// # Errors
     ///
     /// Propagates device protocol errors (a trace recorded on one
     /// geometry may not fit another).
     pub fn replay(&self, module: &mut Module) -> Result<(), DramError> {
+        let registry = std::sync::Arc::clone(module.registry());
+        let span = obs::span!(
+            registry,
+            "softmc.trace.replay",
+            module.now().as_ns(),
+            commands = self.entries.len() as u64
+        );
+        let result = self.replay_inner(module);
+        span.finish(module.now().as_ns());
+        result
+    }
+
+    fn replay_inner(&self, module: &mut Module) -> Result<(), DramError> {
         for entry in &self.entries {
             if entry.at > module.now() {
                 module.advance(entry.at - module.now());
@@ -392,13 +408,7 @@ mod tests {
         t.record_write(Nanos::from_ns(35), bank, DataPattern::Ones);
         t.record_pre(Nanos::from_ns(535), bank);
         t.record_hammer(Nanos::from_ns(600), bank, RowAddr::new(6), 1_000);
-        t.record_hammer_pair(
-            Nanos::from_us(51),
-            bank,
-            RowAddr::new(4),
-            RowAddr::new(6),
-            500,
-        );
+        t.record_hammer_pair(Nanos::from_us(51), bank, RowAddr::new(4), RowAddr::new(6), 500);
         t.record_ref(Nanos::from_us(101));
         t.record_wait(Nanos::from_us(102), Nanos::from_ms(150));
         t.record_act(Nanos::from_ms(151), bank, RowAddr::new(5));
@@ -461,6 +471,45 @@ mod tests {
         let ra = a.read_row(Bank::new(0), RowAddr::new(5)).unwrap();
         let rb = b.read_row(Bank::new(0), RowAddr::new(5)).unwrap();
         assert_eq!(ra, rb);
+    }
+
+    /// The registry view of a replayed trace is an exact backfill of the
+    /// trace's command totals: every ACT (batched hammers expanded), PRE,
+    /// REF, and row read/write lands in the matching counter.
+    #[test]
+    fn replay_backfills_registry_counters_exactly() {
+        let trace = sample_trace();
+        let (mut acts, mut pres, mut refs, mut reads, mut writes) = (0u64, 0u64, 0u64, 0u64, 0u64);
+        for entry in trace.entries() {
+            match &entry.command {
+                TraceCommand::Act { .. } => acts += 1,
+                TraceCommand::Pre { .. } => pres += 1,
+                TraceCommand::WriteRow { .. } => writes += 1,
+                TraceCommand::ReadRow { .. } => reads += 1,
+                TraceCommand::Ref => refs += 1,
+                TraceCommand::Hammer { count, .. } => acts += count,
+                TraceCommand::HammerPair { pairs, .. } => acts += 2 * pairs,
+                TraceCommand::Wait { .. } => {}
+            }
+        }
+
+        let registry = obs::MetricsRegistry::shared();
+        let mut module = Module::new(ModuleConfig::small_test(), 9);
+        module.attach_registry(Arc::clone(&registry));
+        trace.replay(&mut module).unwrap();
+
+        use dram_sim::metrics::{CTR_ACT, CTR_PRE, CTR_REF, CTR_ROW_READS, CTR_ROW_WRITES};
+        assert_eq!(registry.counter(CTR_ACT).get(), acts);
+        assert_eq!(registry.counter(CTR_PRE).get(), pres);
+        assert_eq!(registry.counter(CTR_REF).get(), refs);
+        assert_eq!(registry.counter(CTR_ROW_READS).get(), reads);
+        assert_eq!(registry.counter(CTR_ROW_WRITES).get(), writes);
+
+        // The replay span covers the whole trace.
+        let (spans, _) = registry.spans_snapshot();
+        let span = spans.iter().find(|s| s.name == "softmc.trace.replay").unwrap();
+        assert_eq!(span.fields, vec![("commands".to_string(), trace.len() as u64)]);
+        assert_eq!(span.sim_end, module.now().as_ns());
     }
 
     #[test]

@@ -86,10 +86,11 @@ impl BankTable {
 
     /// Records `count` back-to-back activations of `row`: exactly
     /// equivalent to `count` single activations (the first may insert by
-    /// LRU eviction; the rest increment).
-    fn add(&mut self, row: PhysRow, count: u64) {
+    /// LRU eviction; the rest increment). Returns whether the insertion
+    /// displaced an existing entry.
+    fn add(&mut self, row: PhysRow, count: u64) -> bool {
         if count == 0 {
-            return;
+            return false;
         }
         self.seq += count;
         let seq = self.seq;
@@ -97,10 +98,12 @@ impl BankTable {
             let entry = self.slots[i].as_mut().expect("position() found it");
             entry.count += count;
             entry.last_used = seq;
-            return;
+            return false;
         }
         let slot = self.free_or_lru_slot();
+        let evicted = self.slots[slot].is_some();
         self.slots[slot] = Some(Entry { row, count, last_used: seq });
+        evicted
     }
 
     /// First empty slot, or the slot holding the least-recently-used
@@ -171,6 +174,10 @@ pub struct CounterTrr {
     ref_count: u64,
     /// Alternates TREF_a / TREF_b on successive TRR-capable REFs.
     next_is_tref_a: bool,
+    /// `trr.<name>.detections` — present once a registry is attached.
+    det_ctr: Option<obs::Counter>,
+    /// `trr.<name>.evictions` — table entries displaced by LRU insertion.
+    evict_ctr: Option<obs::Counter>,
 }
 
 impl CounterTrr {
@@ -188,6 +195,8 @@ impl CounterTrr {
             banks: (0..banks).map(|_| BankTable::with_capacity(config.table_size)).collect(),
             ref_count: 0,
             next_is_tref_a: true,
+            det_ctr: None,
+            evict_ctr: None,
         }
     }
 
@@ -209,12 +218,7 @@ impl CounterTrr {
     /// Ground-truth inspection of a bank's occupied entries as
     /// `(row, count)` pairs — test support only.
     pub fn table(&self, bank: Bank) -> Vec<(PhysRow, u64)> {
-        self.banks[bank.index() as usize]
-            .slots
-            .iter()
-            .flatten()
-            .map(|e| (e.row, e.count))
-            .collect()
+        self.banks[bank.index() as usize].slots.iter().flatten().map(|e| (e.row, e.count)).collect()
     }
 }
 
@@ -230,7 +234,11 @@ impl fmt::Debug for CounterTrr {
 
 impl MitigationEngine for CounterTrr {
     fn on_activations(&mut self, bank: Bank, row: PhysRow, count: u64, _now: Nanos) {
-        self.banks[bank.index() as usize].add(row, count);
+        if self.banks[bank.index() as usize].add(row, count) {
+            if let Some(c) = &self.evict_ctr {
+                c.inc();
+            }
+        }
     }
 
     fn on_interleaved_pair(
@@ -251,11 +259,17 @@ impl MitigationEngine for CounterTrr {
         // remaining activations are pure increments; only the final
         // recency order matters, with `second` activated last.
         let table = &mut self.banks[bank.index() as usize];
-        table.add(first, 1);
-        table.add(second, 1);
+        let mut evictions = 0u64;
+        evictions += u64::from(table.add(first, 1));
+        evictions += u64::from(table.add(second, 1));
         if pairs > 1 {
-            table.add(first, pairs - 1);
-            table.add(second, pairs - 1);
+            evictions += u64::from(table.add(first, pairs - 1));
+            evictions += u64::from(table.add(second, pairs - 1));
+        }
+        if evictions > 0 {
+            if let Some(c) = &self.evict_ctr {
+                c.add(evictions);
+            }
         }
     }
 
@@ -274,7 +288,17 @@ impl MitigationEngine for CounterTrr {
                 detections.push(TrrDetection { bank: Bank::new(idx as u8), aggressor: row, span });
             }
         }
+        if !detections.is_empty() {
+            if let Some(c) = &self.det_ctr {
+                c.add(detections.len() as u64);
+            }
+        }
         detections
+    }
+
+    fn attach_metrics(&mut self, registry: &std::sync::Arc<obs::MetricsRegistry>) {
+        self.det_ctr = Some(registry.counter(&format!("trr.{}.detections", self.name)));
+        self.evict_ctr = Some(registry.counter(&format!("trr.{}.evictions", self.name)));
     }
 
     fn reset(&mut self) {
@@ -306,6 +330,21 @@ mod tests {
             }
         }
         out
+    }
+
+    #[test]
+    fn attached_registry_counts_detections_and_evictions() {
+        let registry = std::sync::Arc::new(obs::MetricsRegistry::new());
+        let mut e = CounterTrr::a_trr1(1);
+        e.attach_metrics(&registry);
+        // 20 distinct rows through a 16-slot table: exactly 4 evictions.
+        for i in 0..20 {
+            e.on_activations(B0, PhysRow::new(i), 100, T0);
+        }
+        let hits = drain_refs(&mut e, 9);
+        assert_eq!(registry.counter("trr.A_TRR1.evictions").get(), 4);
+        assert_eq!(registry.counter("trr.A_TRR1.detections").get(), hits.len() as u64);
+        assert!(!hits.is_empty());
     }
 
     #[test]
@@ -364,8 +403,7 @@ mod tests {
         assert!(!late_hits.is_empty(), "TREF_b keeps detecting stale entries indefinitely");
         // The pointer walk revisits the same row every 16 TREF_b
         // instances: late detections cycle through all 16 rows.
-        let mut late_rows: Vec<u32> =
-            late_hits.iter().map(|(_, d)| d.aggressor.index()).collect();
+        let mut late_rows: Vec<u32> = late_hits.iter().map(|(_, d)| d.aggressor.index()).collect();
         late_rows.sort_unstable();
         late_rows.dedup();
         assert_eq!(late_rows.len(), 16, "the walk covers the whole table");

@@ -122,6 +122,8 @@ pub struct Graphene {
     banks: Vec<BankTable>,
     ref_count: u64,
     pending: Vec<TrrDetection>,
+    /// `trr.Graphene.detections` — present once a registry is attached.
+    det_ctr: Option<obs::Counter>,
 }
 
 impl Graphene {
@@ -132,6 +134,7 @@ impl Graphene {
             banks: (0..banks).map(|_| BankTable::default()).collect(),
             ref_count: 0,
             pending: Vec::new(),
+            det_ctr: None,
         }
     }
 
@@ -145,6 +148,9 @@ impl Graphene {
         let crossed = self.banks[bank.index() as usize].add(row, count, &config);
         if crossed {
             self.pending.push(TrrDetection { bank, aggressor: row, span: NeighborSpan::One });
+            if let Some(c) = &self.det_ctr {
+                c.inc();
+            }
         }
     }
 }
@@ -190,6 +196,10 @@ impl MitigationEngine for Graphene {
 
     fn take_inline_detections(&mut self) -> Vec<TrrDetection> {
         std::mem::take(&mut self.pending)
+    }
+
+    fn attach_metrics(&mut self, registry: &std::sync::Arc<obs::MetricsRegistry>) {
+        self.det_ctr = Some(registry.counter("trr.Graphene.detections"));
     }
 
     fn reset(&mut self) {

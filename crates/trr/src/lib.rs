@@ -90,8 +90,7 @@ mod tests {
 
     #[test]
     fn factory_builds_every_version() {
-        for v in ["A_TRR1", "A_TRR2", "B_TRR1", "B_TRR2", "B_TRR3", "C_TRR1", "C_TRR2", "C_TRR3"]
-        {
+        for v in ["A_TRR1", "A_TRR2", "B_TRR1", "B_TRR2", "B_TRR3", "C_TRR1", "C_TRR2", "C_TRR3"] {
             let engine = engine_for_version(v, 8, 7);
             assert_eq!(engine.name(), v);
         }

@@ -38,6 +38,8 @@ pub struct Para {
     rng: SplitMix64,
     seed: u64,
     pending: Vec<TrrDetection>,
+    /// `trr.PARA.detections` — present once a registry is attached.
+    det_ctr: Option<obs::Counter>,
 }
 
 impl Para {
@@ -49,7 +51,7 @@ impl Para {
     /// Panics unless `0 < prob <= 1`.
     pub fn new(prob: f64, seed: u64) -> Self {
         assert!(prob > 0.0 && prob <= 1.0, "probability must be in (0, 1]");
-        Para { prob, rng: SplitMix64::new(seed), seed, pending: Vec::new() }
+        Para { prob, rng: SplitMix64::new(seed), seed, pending: Vec::new(), det_ctr: None }
     }
 
     /// The configured probability.
@@ -63,6 +65,9 @@ impl Para {
         let any = 1.0 - (1.0 - self.prob).powi(count.min(i32::MAX as u64) as i32);
         if self.rng.next_f64() < any {
             self.pending.push(TrrDetection { bank, aggressor: row, span: NeighborSpan::One });
+            if let Some(c) = &self.det_ctr {
+                c.inc();
+            }
         }
     }
 }
@@ -103,6 +108,10 @@ impl MitigationEngine for Para {
 
     fn take_inline_detections(&mut self) -> Vec<TrrDetection> {
         std::mem::take(&mut self.pending)
+    }
+
+    fn attach_metrics(&mut self, registry: &std::sync::Arc<obs::MetricsRegistry>) {
+        self.det_ctr = Some(registry.counter("trr.PARA.detections"));
     }
 
     fn reset(&mut self) {

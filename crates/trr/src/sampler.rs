@@ -99,13 +99,26 @@ pub struct SamplerTrr {
     ref_count: u64,
     rng: SplitMix64,
     seed: u64,
+    /// `trr.<name>.detections` — present once a registry is attached.
+    det_ctr: Option<obs::Counter>,
+    /// `trr.<name>.samples` — register overwrites by sampled `ACT`s.
+    sample_ctr: Option<obs::Counter>,
 }
 
 impl SamplerTrr {
     /// Builds an engine with an explicit configuration.
     pub fn new(config: SamplerTrrConfig, name: &'static str, banks: u8, seed: u64) -> Self {
         let registers = if config.per_bank { vec![None; banks as usize] } else { vec![None] };
-        SamplerTrr { config, name, registers, ref_count: 0, rng: SplitMix64::new(seed), seed }
+        SamplerTrr {
+            config,
+            name,
+            registers,
+            ref_count: 0,
+            rng: SplitMix64::new(seed),
+            seed,
+            det_ctr: None,
+            sample_ctr: None,
+        }
     }
 
     /// The B_TRR1 mechanism (modules B0–B8 of Table 1).
@@ -164,6 +177,9 @@ impl MitigationEngine for SamplerTrr {
         if self.rng.next_f64() >= miss {
             let idx = self.register_index(bank);
             self.registers[idx] = Some((bank, row));
+            if let Some(c) = &self.sample_ctr {
+                c.inc();
+            }
         }
     }
 
@@ -191,6 +207,9 @@ impl MitigationEngine for SamplerTrr {
             let row = if self.rng.next_f64() < 1.0 / (1.0 + q) { second } else { first };
             let idx = self.register_index(bank);
             self.registers[idx] = Some((bank, row));
+            if let Some(c) = &self.sample_ctr {
+                c.inc();
+            }
         }
     }
 
@@ -200,11 +219,23 @@ impl MitigationEngine for SamplerTrr {
             return Vec::new();
         }
         // Observation B5: the register is *not* cleared by the refresh.
-        self.registers
+        let detections: Vec<TrrDetection> = self
+            .registers
             .iter()
             .flatten()
             .map(|&(bank, aggressor)| TrrDetection { bank, aggressor, span: self.config.span })
-            .collect()
+            .collect();
+        if !detections.is_empty() {
+            if let Some(c) = &self.det_ctr {
+                c.add(detections.len() as u64);
+            }
+        }
+        detections
+    }
+
+    fn attach_metrics(&mut self, registry: &std::sync::Arc<obs::MetricsRegistry>) {
+        self.det_ctr = Some(registry.counter(&format!("trr.{}.detections", self.name)));
+        self.sample_ctr = Some(registry.counter(&format!("trr.{}.samples", self.name)));
     }
 
     fn reset(&mut self) {

@@ -107,6 +107,8 @@ pub struct WindowTrr {
     ref_count: u64,
     rng: SplitMix64,
     seed: u64,
+    /// `trr.<name>.detections` — present once a registry is attached.
+    det_ctr: Option<obs::Counter>,
 }
 
 impl WindowTrr {
@@ -121,7 +123,7 @@ impl WindowTrr {
                 pending: false,
             })
             .collect();
-        WindowTrr { config, name, banks, ref_count: 0, rng, seed }
+        WindowTrr { config, name, banks, ref_count: 0, rng, seed, det_ctr: None }
     }
 
     /// The C_TRR1 mechanism (modules C0–C8 of Table 1).
@@ -258,7 +260,16 @@ impl MitigationEngine for WindowTrr {
                 None => {}
             }
         }
+        if !detections.is_empty() {
+            if let Some(c) = &self.det_ctr {
+                c.add(detections.len() as u64);
+            }
+        }
         detections
+    }
+
+    fn attach_metrics(&mut self, registry: &std::sync::Arc<obs::MetricsRegistry>) {
+        self.det_ctr = Some(registry.counter(&format!("trr.{}.detections", self.name)));
     }
 
     fn reset(&mut self) {

@@ -20,14 +20,9 @@ enum Step {
 
 fn step_strategy() -> impl Strategy<Value = Step> {
     prop_oneof![
-        (0u8..2, 0u32..64, 1u64..48).prop_map(|(bank, row, count)| Step::Act {
-            bank,
-            row,
-            count
-        }),
-        (0u8..2, 0u32..64, 0u32..64, 1u64..24).prop_map(|(bank, first, second, pairs)| {
-            Step::Pair { bank, first, second, pairs }
-        }),
+        (0u8..2, 0u32..64, 1u64..48).prop_map(|(bank, row, count)| Step::Act { bank, row, count }),
+        (0u8..2, 0u32..64, 0u32..64, 1u64..24)
+            .prop_map(|(bank, first, second, pairs)| { Step::Pair { bank, first, second, pairs } }),
         Just(Step::Refresh),
     ]
 }

@@ -20,7 +20,12 @@ fn main() {
     let config = EvalConfig::quick(32);
     let sweep = sweep_bank(&spec, pattern.as_ref(), &config);
 
-    println!("module {}: {:.1}% rows vulnerable, up to {} flips per row", spec.id, sweep.vulnerable_pct(), sweep.max_flips_per_row());
+    println!(
+        "module {}: {:.1}% rows vulnerable, up to {} flips per row",
+        spec.id,
+        sweep.vulnerable_pct(),
+        sweep.max_flips_per_row()
+    );
     let hist = sweep.dataword_histogram();
     println!("\nflips-per-8-byte-dataword distribution (Fig. 10 ingredient):");
     for &(k, n) in &hist {
@@ -43,11 +48,7 @@ fn main() {
             report.corrected,
             report.detected,
             report.silent,
-            if report.fully_protects() {
-                "protects"
-            } else {
-                "DEFEATED (silent corruption)"
-            }
+            if report.fully_protects() { "protects" } else { "DEFEATED (silent corruption)" }
         );
     }
     let bound = utrr::ecc::rs_parity_needed(&hist);

@@ -17,19 +17,18 @@ fn main() {
     // 1. Pick a module from the paper's Table 1 and build it (scaled to
     //    2048 rows/bank for speed — the TRR engine is the real thing).
     let spec = by_id("A5").expect("A5 is in the catalog");
-    println!("module {}: vendor {}, TRR version {} (ground truth hidden from U-TRR)", spec.id, spec.vendor, spec.trr_version);
+    println!(
+        "module {}: vendor {}, TRR version {} (ground truth hidden from U-TRR)",
+        spec.id, spec.vendor, spec.trr_version
+    );
     let mut mc = MemoryController::new(spec.build_scaled(2_048, 42));
     let bank = Bank::new(0);
 
     // 2. Row Scout: find row groups in the R-A-R layout (two
     //    retention-profiled rows sandwiching an aggressor position) with
     //    matching, consistent retention times.
-    let scout = RowScout::new(ScoutConfig::new(
-        bank,
-        2_048,
-        RowGroupLayout::single_aggressor_pair(),
-        5,
-    ));
+    let scout =
+        RowScout::new(ScoutConfig::new(bank, 2_048, RowGroupLayout::single_aggressor_pair(), 5));
     let groups = scout.scan(&mut mc).expect("the bank has profilable rows");
     for g in &groups {
         println!(

@@ -9,14 +9,17 @@
 
 use dram_sim::{Bank, RowAddr};
 use softmc::MemoryController;
-use utrr_bench::reverse_engineer_module;
 use utrr::utrr_core::mapping_re::{candidate_mappings, detect_paired_rows, discover_mapping};
 use utrr::utrr_modules::by_id;
+use utrr_bench::reverse_engineer_module;
 
 fn main() {
     for id in ["A0", "B7", "C7"] {
         let spec = by_id(id).expect("catalog module");
-        println!("== module {} ({} {}, manufactured {}) ==", spec.id, spec.vendor, spec.trr_version, spec.date);
+        println!(
+            "== module {} ({} {}, manufactured {}) ==",
+            spec.id, spec.vendor, spec.trr_version, spec.date
+        );
 
         // §5.3: reverse engineer the logical→physical row mapping first.
         // A0 and B7 carry decoder scrambling; C7 uses paired rows.
@@ -27,9 +30,8 @@ fn main() {
         // and including block-boundary rows that discriminate mirror and
         // XOR decoders.
         let rows = mc.module().geometry().rows_per_bank;
-        let probes: Vec<RowAddr> = (0..24u32)
-            .map(|i| RowAddr::new(640 + i * (rows - 1_280) / 24 + i % 8))
-            .collect();
+        let probes: Vec<RowAddr> =
+            (0..24u32).map(|i| RowAddr::new(640 + i * (rows - 1_280) / 24 + i % 8)).collect();
         // Probe hammer counts scale with the module's RowHammer
         // threshold: distance-1 neighbours must flip decisively.
         let paired_hammers = spec.hc_first * 16;
@@ -37,27 +39,28 @@ fn main() {
         let paired = detect_paired_rows(&mut mc, bank, &probes, paired_hammers)
             .expect("probe runs")
             .unwrap_or(false);
-        println!("  paired-row organization: {paired} (ground truth: {})",
-            spec.topology() == dram_sim::Topology::Paired);
+        println!(
+            "  paired-row organization: {paired} (ground truth: {})",
+            spec.topology() == dram_sim::Topology::Paired
+        );
         if !paired {
             let mapping =
                 discover_mapping(&mut mc, bank, &probes, &candidate_mappings(), mapping_hammers)
                     .expect("probe runs");
-            println!(
-                "  discovered mapping: {mapping:?} (ground truth: {:?})",
-                spec.mapping()
-            );
+            println!("  discovered mapping: {mapping:?} (ground truth: {:?})", spec.mapping());
         }
 
         // §6: the full experiment suite on a scaled build.
         let outcome = reverse_engineer_module(&spec, 2_048, 7);
-        println!("  inferred: ratio 1/{}, {} neighbours refreshed, {:?}, per-bank {}",
+        println!(
+            "  inferred: ratio 1/{}, {} neighbours refreshed, {:?}, per-bank {}",
             outcome.profile.trr_ref_ratio,
             outcome.profile.neighbors_refreshed,
             outcome.profile.detection,
             outcome.profile.per_bank,
         );
-        println!("  regular refresh period: {} REFs (ground truth {})",
+        println!(
+            "  regular refresh period: {} REFs (ground truth {})",
             outcome.refresh_period,
             spec.refresh().period_refs,
         );

@@ -1,0 +1,222 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! implements the slice of the criterion 0.5 API the workspace benches
+//! compile against: [`Criterion`], [`criterion_group!`] /
+//! [`criterion_main!`], benchmark groups, and [`Bencher::iter`] /
+//! [`Bencher::iter_batched_ref`]. Instead of criterion's statistical
+//! sampling it times each benchmark as the minimum over a handful of
+//! timed runs and prints one line per benchmark — enough to compare
+//! implementations by hand, not a substitute for real criterion.
+//!
+//! Runs are intentionally short (bounded iterations, no warm-up
+//! schedule) so `cargo bench` finishes quickly in CI.
+
+use std::time::{Duration, Instant};
+
+/// How many timed runs each benchmark gets; the minimum is reported.
+const RUNS: u32 = 5;
+
+/// Iterations per timed run, scaled down if one run exceeds
+/// [`TARGET_RUN_TIME`].
+const START_ITERS: u64 = 16;
+
+/// Soft cap on the time spent in a single timed run.
+const TARGET_RUN_TIME: Duration = Duration::from_millis(200);
+
+/// Top-level benchmark driver (criterion 0.5 subset).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _criterion: self, name: name.to_string() }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(id, f);
+        self
+    }
+}
+
+/// A named group of benchmarks; results print as `group/id`.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub's run count is fixed.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id), f);
+        self
+    }
+
+    /// Ends the group (no-op; results print as they complete).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; drives the timed iterations.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the run's iteration budget.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` against a fresh `setup` value per iteration,
+    /// passing it by mutable reference; setup time is excluded.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let mut input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(&mut input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+
+    /// Like [`Bencher::iter_batched_ref`] but passes the input by value.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Hint for how expensive per-iteration setup is (ignored by the stub).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: criterion would batch many per allocation.
+    SmallInput,
+    /// Large inputs: criterion would batch few per allocation.
+    LargeInput,
+    /// Each iteration gets exactly one input.
+    PerIteration,
+}
+
+/// Re-export of `std::hint::black_box` under criterion's path.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+fn run_benchmark<F>(id: &str, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut iters = START_ITERS;
+    let mut best = Duration::MAX;
+    for _ in 0..RUNS {
+        let mut bencher = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut bencher);
+        if bencher.elapsed > Duration::ZERO {
+            best = best.min(bencher.elapsed / iters as u32);
+        }
+        if bencher.elapsed > TARGET_RUN_TIME && iters > 1 {
+            iters = (iters / 2).max(1);
+        }
+    }
+    if best == Duration::MAX {
+        best = Duration::ZERO;
+    }
+    println!("bench {id:<50} {:>12.3} µs/iter (min of {RUNS})", best.as_secs_f64() * 1e6);
+}
+
+/// Collects benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_reports_nonzero_time() {
+        let mut seen = 0u64;
+        let mut bencher = Bencher { iters: 8, elapsed: Duration::ZERO };
+        bencher.iter(|| {
+            seen += 1;
+            std::hint::black_box(seen)
+        });
+        assert_eq!(seen, 8);
+    }
+
+    #[test]
+    fn iter_batched_ref_gets_fresh_input_each_iteration() {
+        let mut bencher = Bencher { iters: 4, elapsed: Duration::ZERO };
+        bencher.iter_batched_ref(
+            || vec![0u8; 4],
+            |v| {
+                assert!(v.iter().all(|&b| b == 0));
+                v[0] = 1;
+            },
+            BatchSize::SmallInput,
+        );
+    }
+
+    #[test]
+    fn groups_run_to_completion() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("stub");
+        group.sample_size(10);
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+}

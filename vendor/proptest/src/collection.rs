@@ -1,0 +1,139 @@
+//! Collection strategies (`prop::collection::…`).
+
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::ops::{Range, RangeInclusive};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A collection-size specification: an exact size or a range of sizes
+/// (mirrors `proptest::collection::SizeRange`).
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    hi_inclusive: usize,
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        let span = (self.hi_inclusive - self.lo) as u64 + 1;
+        self.lo + (rng.next_u64() % span) as usize
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        SizeRange { lo: exact, hi_inclusive: exact }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(range: Range<usize>) -> Self {
+        assert!(range.start < range.end, "empty collection size range");
+        SizeRange { lo: range.start, hi_inclusive: range.end - 1 }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(range: RangeInclusive<usize>) -> Self {
+        assert!(range.start() <= range.end(), "empty collection size range");
+        SizeRange { lo: *range.start(), hi_inclusive: *range.end() }
+    }
+}
+
+/// A `Vec` of elements drawn from `element`, sized per `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+/// See [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let size = self.size.sample(rng);
+        (0..size).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// A `HashSet` of distinct elements drawn from `element`, with the
+/// target size sampled per `size`. If the element domain cannot supply
+/// enough distinct values, the set is smaller — matching real
+/// proptest's behaviour for tight domains.
+pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Eq + Hash,
+{
+    HashSetStrategy { element, size: size.into() }
+}
+
+/// See [`hash_set`].
+#[derive(Debug, Clone)]
+pub struct HashSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Eq + Hash,
+{
+    type Value = HashSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+        let size = self.size.sample(rng);
+        let mut out = HashSet::with_capacity(size);
+        // Bounded attempts so tiny domains terminate.
+        for _ in 0..size.saturating_mul(16).max(64) {
+            if out.len() >= size {
+                break;
+            }
+            out.insert(self.element.generate(rng));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_sizes_stay_in_range() {
+        let mut rng = TestRng::new(5);
+        let strat = vec(0u8..255, 2..6);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn vec_exact_size_is_exact() {
+        let mut rng = TestRng::new(7);
+        let strat = vec(0u8..255, 12);
+        for _ in 0..20 {
+            assert_eq!(strat.generate(&mut rng).len(), 12);
+        }
+    }
+
+    #[test]
+    fn hash_set_elements_are_distinct_and_bounded() {
+        let mut rng = TestRng::new(6);
+        let strat = hash_set(0usize..4, 0..4);
+        for _ in 0..100 {
+            let s = strat.generate(&mut rng);
+            assert!(s.len() < 4);
+            assert!(s.iter().all(|&v| v < 4));
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! The case-running engine behind [`crate::proptest!`].
+
+use std::fmt::Debug;
+
+use crate::strategy::Strategy;
+
+/// How many rejected cases ([`crate::prop_assume!`] / filter discards at
+/// the runner level) are tolerated per test before giving up.
+const MAX_GLOBAL_REJECTS: u32 = 65_536;
+
+/// Deterministic splitmix64 generator driving value generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator with the given seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed ^ 0x9E37_79B9_7F4A_7C15 }
+    }
+
+    /// The next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Runner configuration (`proptest::test_runner::ProptestConfig` subset).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// How many passing cases each test must accumulate.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases =
+            std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(256);
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case is outside the test's domain; generate a replacement.
+    Reject(String),
+    /// The property is violated; the whole test fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A [`TestCaseError::Fail`] with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// A [`TestCaseError::Reject`] with the given reason.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+/// Drives one property test: generates inputs and checks the property.
+#[derive(Debug, Clone)]
+pub struct TestRunner {
+    config: ProptestConfig,
+}
+
+impl TestRunner {
+    /// A runner with the given config.
+    pub fn new(config: ProptestConfig) -> Self {
+        TestRunner { config }
+    }
+
+    /// Runs `test` against `config.cases` generated inputs, panicking on
+    /// the first failing case with the generated input (no shrinking).
+    ///
+    /// Seeding is deterministic per `name` so reruns reproduce, unless
+    /// the `PROPTEST_SEED` environment variable overrides the base seed.
+    pub fn run_named<S, F>(&mut self, name: &str, strategy: &S, mut test: F)
+    where
+        S: Strategy,
+        S::Value: Debug,
+        F: FnMut(S::Value) -> Result<(), TestCaseError>,
+    {
+        let base = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0xC0FF_EE00_D15E_A5E5u64);
+        let mut rng = TestRng::new(base ^ fnv1a(name));
+
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        while passed < self.config.cases {
+            let input = strategy.generate(&mut rng);
+            let shown = format!("{input:?}");
+            match test(input) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(reason)) => {
+                    rejected += 1;
+                    if rejected > MAX_GLOBAL_REJECTS {
+                        panic!(
+                            "proptest {name}: too many rejected cases \
+                             ({rejected}; last: {reason}); \
+                             property checked on {passed} cases only"
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(message)) => {
+                    panic!(
+                        "proptest {name} failed after {passed} passing cases\n\
+                         input: {shown}\n{message}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn fnv1a(name: &str) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for byte in name.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x1_0000_0000_01B3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(64));
+        let mut seen = 0u32;
+        runner.run_named("all_cases", &(0u32..100), |v| {
+            assert!(v < 100);
+            seen += 1;
+            Ok(())
+        });
+        assert_eq!(seen, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed after")]
+    fn failing_property_panics_with_input() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(64));
+        runner.run_named("always_fails", &(0u32..100), |_| Err(TestCaseError::fail("nope")));
+    }
+
+    #[test]
+    fn rejected_cases_do_not_count_toward_budget() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(32));
+        let mut passed = 0u32;
+        runner.run_named("rejects_odd", &(0u32..100), |v| {
+            if v % 2 == 1 {
+                return Err(TestCaseError::reject("odd"));
+            }
+            passed += 1;
+            Ok(())
+        });
+        assert_eq!(passed, 32);
+    }
+
+    #[test]
+    fn same_name_reproduces_same_inputs() {
+        let collect = |label: &str| {
+            let mut runner = TestRunner::new(ProptestConfig::with_cases(16));
+            let mut values = Vec::new();
+            runner.run_named(label, &(0u64..1 << 40), |v| {
+                values.push(v);
+                Ok(())
+            });
+            values
+        };
+        assert_eq!(collect("stable"), collect("stable"));
+        assert_ne!(collect("stable"), collect("different"));
+    }
+}

@@ -1,0 +1,208 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the tiny slice of the `rand 0.8` API it compiles against:
+//! [`Rng`], [`SeedableRng`], [`rngs::StdRng`], and [`thread_rng`]. The
+//! generator is the same splitmix64/xoshiro-style core the simulator
+//! already uses for its physics derivation — deterministic, seedable,
+//! and plenty for test workloads. This is **not** a cryptographic RNG.
+
+/// Core random-number-generation trait (the `rand 0.8` subset).
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniformly random value of a supported primitive type
+    /// (`rand 0.8` spells this `gen`, which is a reserved keyword in
+    /// newer editions, so the stub uses `random`).
+    fn random<T: Fill>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::fill(self)
+    }
+
+    /// A uniformly random value in `[range.start, range.end)`.
+    fn gen_range<T: UniformSample>(&mut self, range: std::ops::Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self, range.start, range.end)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+}
+
+/// Construction from a seed (the `rand 0.8` subset).
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types [`Rng::gen`] can produce.
+pub trait Fill {
+    /// Draws one uniformly random value.
+    fn fill<R: Rng>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_fill_int {
+    ($($t:ty),*) => {$(
+        impl Fill for $t {
+            fn fill<R: Rng>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_fill_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Fill for bool {
+    fn fill<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Fill for f64 {
+    fn fill<R: Rng>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Types [`Rng::gen_range`] can produce.
+pub trait UniformSample: Copy {
+    /// Draws a uniformly random value in `[lo, hi)`.
+    fn sample<R: Rng>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_uniform_unsigned {
+    ($($t:ty),*) => {$(
+        impl UniformSample for $t {
+            fn sample<R: Rng>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range requires a non-empty range");
+                let span = (hi - lo) as u64;
+                lo + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+impl_uniform_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_uniform_signed {
+    ($($t:ty as $u:ty),*) => {$(
+        impl UniformSample for $t {
+            fn sample<R: Rng>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range requires a non-empty range");
+                let span = (hi as i64).wrapping_sub(lo as i64) as u64;
+                lo.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+    )*};
+}
+impl_uniform_signed!(i8 as u8, i16 as u16, i32 as u32, i64 as u64, isize as usize);
+
+impl UniformSample for f64 {
+    fn sample<R: Rng>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + unit * (hi - lo)
+    }
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// A deterministic splitmix64-seeded xorshift generator standing in
+    /// for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl StdRng {
+        fn splitmix(state: &mut u64) -> u64 {
+            *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = *state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            Self::splitmix(&mut self.state)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed ^ 0xD6E8_FEB8_6659_FD93 }
+        }
+    }
+
+    /// Stand-in for `rand::rngs::ThreadRng` (deterministic per handle).
+    pub type ThreadRng = StdRng;
+}
+
+/// Returns a generator seeded from the current time — the closest
+/// offline analogue of `rand::thread_rng`.
+pub fn thread_rng() -> rngs::ThreadRng {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    let nanos = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+        .unwrap_or(0x5EED);
+    SeedableRng::seed_from_u64(nanos)
+}
+
+/// `rand::prelude` subset.
+pub mod prelude {
+    pub use crate::rngs::StdRng;
+    pub use crate::{thread_rng, Rng, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn seeded_generators_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v: u32 = rng.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let s: i32 = rng.gen_range(-5..5);
+            assert!((-5..5).contains(&s));
+            let f: f64 = rng.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_respects_extremes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(!(0..64).map(|_| rng.gen_bool(0.0)).any(|b| b));
+        assert!((0..64).map(|_| rng.gen_bool(1.0)).all(|b| b));
+    }
+}
