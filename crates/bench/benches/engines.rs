@@ -49,7 +49,10 @@ fn bench_on_activations(c: &mut Criterion) {
 
 fn bench_on_refresh(c: &mut Criterion) {
     let mut g = c.benchmark_group("engines/on_refresh");
+    // One drain buffer reused across iterations, mirroring how the
+    // device drives the hook.
     g.bench_function("counter_full_table", |b| {
+        let mut out = Vec::new();
         b.iter_batched_ref(
             || {
                 let mut e = CounterTrr::a_trr1(16);
@@ -60,18 +63,25 @@ fn bench_on_refresh(c: &mut Criterion) {
                 }
                 e
             },
-            |e| e.on_refresh(T0),
+            |e| {
+                out.clear();
+                e.on_refresh(T0, &mut out);
+            },
             BatchSize::SmallInput,
         )
     });
     g.bench_function("sampler", |b| {
+        let mut out = Vec::new();
         b.iter_batched_ref(
             || {
                 let mut e = SamplerTrr::b_trr1(16, 3);
                 e.on_activations(B0, PhysRow::new(9), 2_000, T0);
                 e
             },
-            |e| e.on_refresh(T0),
+            |e| {
+                out.clear();
+                e.on_refresh(T0, &mut out);
+            },
             BatchSize::SmallInput,
         )
     });

@@ -3,7 +3,7 @@
 //! and shows how a paper-relevant observable changes — evidence that the
 //! mechanism is load-bearing rather than decorative.
 //!
-//! Usage: ablations [--rows N] [--samples N] [--metrics-out PATH]
+//! Usage: ablations [--rows N] [--samples N] [--threads N] [--metrics-out PATH]
 
 use std::sync::Arc;
 
@@ -12,7 +12,9 @@ use attacks::custom::VendorAPattern;
 use attacks::eval::{sweep_bank_module, EvalConfig};
 use dram_sim::{Bank, DataPattern, Module, RowAddr};
 use obs::MetricsRegistry;
-use utrr_bench::{arg_value, emit_metrics, metrics_out_path, run_registry};
+use utrr_bench::{
+    arg_value, emit_metrics, metrics_out_path, par_config, run_registry, threads_arg,
+};
 use utrr_modules::by_id;
 
 fn config(samples: u32, rows: u32, registry: &Arc<MetricsRegistry>) -> EvalConfig {
@@ -98,10 +100,11 @@ fn ablate_dummy_pressure(
     samples: u32,
     rows: u32,
     registry: &Arc<MetricsRegistry>,
+    pool: &par::ParConfig,
 ) {
     println!("## Ablation: dummy-row pressure in the vendor-A custom pattern (Fig. 8 trade-off)");
     let cfg = config(samples, rows, registry);
-    for (label, pattern) in [
+    let variants = [
         ("paper optimum (24 hammers + 16 dummies)", VendorAPattern::paper_optimum()),
         (
             "no dummies at all",
@@ -112,8 +115,13 @@ fn ablate_dummy_pressure(
             VendorAPattern { aggressor_hammers: 24, dummy_rows: 8, dummy_hammers: 6 },
         ),
         ("over-hammered aggressors (70)", VendorAPattern::with_aggressor_hammers(70)),
-    ] {
-        let sweep = sweep_bank_module(spec.build_scaled(rows, 5), &pattern, &cfg);
+    ];
+    // Each variant sweeps its own freshly built module — one pool task
+    // per variant, printed in declaration order.
+    let sweeps = par::par_map(pool, &variants, |(_, pattern)| {
+        sweep_bank_module(spec.build_scaled(rows, 5), pattern, &cfg)
+    });
+    for ((label, _), sweep) in variants.iter().zip(&sweeps) {
         println!(
             "  {label:<40} vulnerable {:>5.1}%  max flips/row {:>4}",
             sweep.vulnerable_pct(),
@@ -132,15 +140,23 @@ fn ablate_trr_presence(
     samples: u32,
     rows: u32,
     registry: &Arc<MetricsRegistry>,
+    pool: &par::ParConfig,
 ) {
     println!("## Ablation: TRR presence (footnote 18 baseline contrast)");
     let cfg = config(samples, rows, registry);
     let pattern = DoubleSided::max_rate();
-    let with_trr = sweep_bank_module(spec.build_scaled(rows, 5), &pattern, &cfg);
-    let without = {
-        let config_no_trr = spec.build_scaled(rows, 5).config().clone();
-        sweep_bank_module(Module::new(config_no_trr, 5), &pattern, &cfg)
-    };
+    // Both arms build their own module inside the task (the engine is
+    // not Send), so the two sweeps run concurrently.
+    let arms = [true, false];
+    let sweeps = par::par_map(pool, &arms, |&trr| {
+        if trr {
+            sweep_bank_module(spec.build_scaled(rows, 5), &pattern, &cfg)
+        } else {
+            let config_no_trr = spec.build_scaled(rows, 5).config().clone();
+            sweep_bank_module(Module::new(config_no_trr, 5), &pattern, &cfg)
+        }
+    });
+    let (with_trr, without) = (&sweeps[0], &sweeps[1]);
     println!(
         "  double-sided vs {}:    {:>5.1}% vulnerable | TRR removed: {:>5.1}% vulnerable",
         spec.trr_version,
@@ -156,12 +172,13 @@ fn main() {
     let samples: u32 = arg_value(&args, "--samples").and_then(|v| v.parse().ok()).unwrap_or(24);
     let metrics_path = metrics_out_path(&args);
     let registry = run_registry();
+    let pool = par_config(threads_arg(&args), &registry);
     let spec = by_id("A5").expect("catalog contains A5");
     println!("# Simulator design-choice ablations (module A5 unless noted)\n");
     ablate_same_row_discount(&spec, rows);
     ablate_blast_radius(&spec, rows);
-    ablate_dummy_pressure(&spec, samples, rows, &registry);
-    ablate_trr_presence(&spec, samples, rows, &registry);
+    ablate_dummy_pressure(&spec, samples, rows, &registry, &pool);
+    ablate_trr_presence(&spec, samples, rows, &registry, &pool);
 
     emit_metrics(&registry, metrics_path.as_deref()).expect("metrics artifact is writable");
 }

@@ -4,14 +4,16 @@
 //! codes fare against the measured distributions.
 //!
 //! Usage: repro-fig10 [--rows N] [--samples N] [--windows N]
-//!                    [--modules A5,...] [--ecc] [--metrics-out PATH]
+//!                    [--modules A5,...] [--ecc] [--threads N]
+//!                    [--metrics-out PATH]
 
 use attacks::eval::EvalConfig;
 use ecc::{analyze_with_registry, CodeKind};
 use utrr_bench::{
-    arg_flag, arg_value, attack_columns, emit_metrics, metrics_out_path, run_registry,
+    arg_flag, arg_value, attack_columns_par, emit_metrics, metrics_out_path, par_config,
+    run_registry, threads_arg,
 };
-use utrr_modules::catalog;
+use utrr_modules::{catalog, ModuleSpec};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -22,6 +24,7 @@ fn main() {
     let run_ecc = arg_flag(&args, "--ecc");
     let metrics_path = metrics_out_path(&args);
     let registry = run_registry();
+    let pool = par_config(threads_arg(&args), &registry);
     let config = EvalConfig {
         sample_count: samples,
         windows,
@@ -36,14 +39,19 @@ fn main() {
     );
     println!();
 
+    let modules: Vec<ModuleSpec> = catalog()
+        .into_iter()
+        .filter(|spec| match &filter {
+            Some(list) => list.split(',').any(|id| id == spec.id),
+            None => true,
+        })
+        .collect();
+    // One worker-pool task per module; histograms (and the sequential
+    // ECC analysis below) print in catalog order.
+    let sweeps = attack_columns_par(&modules, &config, &pool);
+
     let mut global_max_flips_per_word = 0u32;
-    for spec in catalog() {
-        if let Some(list) = &filter {
-            if !list.split(',').any(|id| id == spec.id) {
-                continue;
-            }
-        }
-        let sweep = attack_columns(&spec, &config);
+    for (spec, sweep) in modules.iter().zip(&sweeps) {
         let hist = sweep.dataword_histogram();
         let counts: Vec<String> = hist.iter().map(|&(k, n)| format!("{k}:{n}")).collect();
         println!(

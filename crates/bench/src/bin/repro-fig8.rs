@@ -5,12 +5,13 @@
 //! The paper's box-and-whisker panels become ASCII box lines: `-` spans
 //! min..max, `=` spans the inter-quartile range, `#` marks the median.
 //!
-//! Usage: repro-fig8 [--rows N] [--samples N] [--windows N]
+//! Usage: repro-fig8 [--rows N] [--samples N] [--windows N] [--threads N]
 //!                   [--metrics-out PATH]
 
 use attacks::eval::EvalConfig;
 use utrr_bench::{
-    arg_value, boxplot_line, emit_metrics, fig8_sweep, metrics_out_path, run_registry,
+    arg_value, boxplot_line, emit_metrics, fig8_sweep_par, metrics_out_path, par_config,
+    run_registry, threads_arg,
 };
 use utrr_modules::fig8_modules;
 
@@ -21,6 +22,7 @@ fn main() {
     let windows: u32 = arg_value(&args, "--windows").and_then(|v| v.parse().ok()).unwrap_or(2);
     let metrics_path = metrics_out_path(&args);
     let registry = run_registry();
+    let pool = par_config(threads_arg(&args), &registry);
     let config = EvalConfig {
         sample_count: samples,
         windows,
@@ -41,7 +43,7 @@ fn main() {
         };
         println!();
         println!("## Module {} ({})", spec.id, spec.trr_version);
-        let points = fig8_sweep(&spec, &hammer_values, &config);
+        let points = fig8_sweep_par(&spec, &hammer_values, &config, &pool);
         let max_flips = points.iter().map(|p| p.quartiles.4).max().unwrap_or(1).max(1);
         println!("  hammers/aggr/REF   min   q1  med   q3  max   0 {:>38} {max_flips}", "flips →");
         for p in &points {

@@ -3,11 +3,14 @@
 //! custom access pattern, for all 45 modules.
 //!
 //! Usage: repro-fig9 [--rows N] [--samples N] [--windows N] [--modules A5,...]
-//!                   [--metrics-out PATH]
+//!                   [--threads N] [--metrics-out PATH]
 
 use attacks::eval::EvalConfig;
-use utrr_bench::{arg_value, attack_columns, emit_metrics, metrics_out_path, run_registry};
-use utrr_modules::catalog;
+use utrr_bench::{
+    arg_value, attack_columns_par, emit_metrics, metrics_out_path, par_config, run_registry,
+    threads_arg,
+};
+use utrr_modules::{catalog, ModuleSpec};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -17,6 +20,7 @@ fn main() {
     let filter = arg_value(&args, "--modules");
     let metrics_path = metrics_out_path(&args);
     let registry = run_registry();
+    let pool = par_config(threads_arg(&args), &registry);
     let config = EvalConfig {
         sample_count: samples,
         windows,
@@ -30,15 +34,19 @@ fn main() {
     println!();
     println!("  module  version    measured   paper        0%        50%       100%");
 
+    let modules: Vec<ModuleSpec> = catalog()
+        .into_iter()
+        .filter(|spec| match &filter {
+            Some(list) => list.split(',').any(|id| id == spec.id),
+            None => true,
+        })
+        .collect();
+    // One worker-pool task per module; rows print in catalog order.
+    let sweeps = attack_columns_par(&modules, &config, &pool);
+
     let mut fully_vulnerable = 0u32;
     let mut total = 0u32;
-    for spec in catalog() {
-        if let Some(list) = &filter {
-            if !list.split(',').any(|id| id == spec.id) {
-                continue;
-            }
-        }
-        let sweep = attack_columns(&spec, &config);
+    for (spec, sweep) in modules.iter().zip(&sweeps) {
         let pct = sweep.vulnerable_pct();
         let bar_len = (pct / 2.5) as usize;
         println!(

@@ -5,18 +5,29 @@
 //!
 //! Usage:
 //!   repro-table1 [--rows N] [--samples N] [--windows N] [--modules A5,B0,...]
-//!                [--per-module-re] [--attack-only] [--metrics-out PATH]
+//!                [--per-module-re] [--attack-only] [--threads N]
+//!                [--metrics-out PATH] [--bench-out PATH]
 //!
 //! By default the reverse-engineering suite runs once per *TRR version*
 //! (modules sharing a version share their engine, so the findings are
-//! identical); `--per-module-re` runs it for all 45 modules.
+//! identical); `--per-module-re` widens the memoization key to the full
+//! reverse-engineering inputs (geometry, physics, mapping, topology,
+//! refresh schedule, engine), so the suite still only re-runs when the
+//! inputs actually differ.
+//!
+//! `--threads N` (or `UTRR_THREADS`) fans the reverse-engineering and
+//! attack phases over a worker pool; results are bit-identical to a
+//! sequential run for any thread count. `--bench-out PATH` writes a
+//! `BENCH_sweep.json` baseline artifact recording wall-clock per phase
+//! plus a per-command device cost micro-benchmark.
 
 use std::collections::HashMap;
 
-use attacks::eval::EvalConfig;
+use attacks::eval::{BankSweep, EvalConfig};
 use utrr_bench::{
-    arg_flag, arg_value, attack_columns, emit_metrics, measure_hc_first_with, metrics_out_path,
-    reverse_engineer_module_with, run_registry,
+    arg_flag, arg_value, attack_columns, device_ns_per_act, emit_metrics, measure_hc_first_with,
+    metrics_out_path, par_config, re_input_key, reverse_engineer_module_with, run_registry,
+    threads_arg, BenchPhases, ReOutcome,
 };
 use utrr_core::reverse::DetectionKind;
 use utrr_modules::{catalog, ModuleSpec};
@@ -46,7 +57,11 @@ fn main() {
     let per_module_re = arg_flag(&args, "--per-module-re");
     let attack_only = arg_flag(&args, "--attack-only");
     let metrics_path = metrics_out_path(&args);
+    let bench_path = arg_value(&args, "--bench-out").map(std::path::PathBuf::from);
+    let threads = threads_arg(&args);
     let registry = run_registry();
+    let pool = par_config(threads, &registry);
+    let mut bench = BenchPhases::new(threads);
 
     let modules: Vec<ModuleSpec> = catalog()
         .into_iter()
@@ -65,17 +80,38 @@ fn main() {
     );
     println!("|---|---|---|---|---|---|---|---|");
 
-    let mut re_cache: HashMap<&'static str, utrr_bench::ReOutcome> = HashMap::new();
     if !attack_only {
-        for spec in &modules {
-            let outcome = if per_module_re {
-                reverse_engineer_module_with(spec, rows, 7, Some(&registry))
+        // Memoize one reverse-engineering run per distinct key: the TRR
+        // version by default, the full input set with `--per-module-re`
+        // (a module whose mapping/physics/geometry differ still gets its
+        // own run). Distinct keys run in parallel, first-appearance
+        // order, so the printed table is identical for any thread count.
+        let key_of = |spec: &ModuleSpec| -> String {
+            if per_module_re {
+                re_input_key(spec)
             } else {
-                re_cache
-                    .entry(spec.trr_version)
-                    .or_insert_with(|| reverse_engineer_module_with(spec, rows, 7, Some(&registry)))
-                    .clone()
-            };
+                spec.trr_version.to_string()
+            }
+        };
+        let mut unique: Vec<(String, ModuleSpec)> = Vec::new();
+        for spec in &modules {
+            let key = key_of(spec);
+            if !unique.iter().any(|(k, _)| *k == key) {
+                unique.push((key, spec.clone()));
+            }
+        }
+        let outcomes: Vec<ReOutcome> = bench.time("reverse_engineering", || {
+            par::par_map(&pool, &unique, |(_, spec)| {
+                reverse_engineer_module_with(spec, rows, 7, Some(&registry))
+            })
+        });
+        let re_cache: HashMap<&str, &ReOutcome> = unique
+            .iter()
+            .zip(outcomes.iter())
+            .map(|((key, _), outcome)| (key.as_str(), outcome))
+            .collect();
+        for spec in &modules {
+            let outcome = re_cache[key_of(spec).as_str()];
             println!(
                 "| {} | {} | {} ({}) | {} ({}) | {} ({}) | {} ({}) | {} ({}) | {} |",
                 spec.id,
@@ -109,9 +145,17 @@ fn main() {
         registry: Some(std::sync::Arc::clone(&registry)),
         ..EvalConfig::quick(samples)
     };
-    for spec in &modules {
-        let hc = measure_hc_first_with(spec, rows.min(2_048), 48, 11, Some(&registry));
-        let sweep = attack_columns(spec, &config);
+    // One task per module: each measures HC_first and runs the attack
+    // sweep on its own freshly built module, then the rows are printed
+    // in catalog order.
+    let results: Vec<(u64, BankSweep)> = bench.time("attack_columns", || {
+        par::par_map(&pool, &modules, |spec| {
+            let hc = measure_hc_first_with(spec, rows.min(2_048), 48, 11, Some(&registry));
+            let sweep = attack_columns(spec, &config);
+            (hc, sweep)
+        })
+    });
+    for (spec, (hc, sweep)) in modules.iter().zip(&results) {
         println!(
             "| {} | {} ({}) | {:.1}% ({:.1}–{:.1}%) | {:.2} ({:.2}–{:.2}) | {} |",
             spec.id,
@@ -127,5 +171,11 @@ fn main() {
         );
     }
 
+    if let Some(path) = &bench_path {
+        let ns_per_act = bench.time("device_microbench", device_ns_per_act);
+        bench.scalar("device_ns_per_act", ns_per_act);
+        bench.write(path).expect("bench artifact is writable");
+        eprintln!("bench artifact: {}", path.display());
+    }
     emit_metrics(&registry, metrics_path.as_deref()).expect("metrics artifact is writable");
 }

@@ -8,20 +8,51 @@
 //! full-budget double-sided hammering.
 //!
 //! Usage: secure-mitigations [--rows N] [--samples N] [--para-prob P]
-//!                           [--metrics-out PATH]
+//!                           [--threads N] [--metrics-out PATH]
 
 use attacks::baseline::DoubleSided;
 use attacks::custom;
-use attacks::eval::{sweep_bank_module, EvalConfig};
-use attacks::AccessPattern;
+use attacks::eval::{sweep_bank_module, BankSweep, EvalConfig};
 use dram_sim::{MitigationEngine, Module};
 use trr::{Graphene, GrapheneConfig, Para};
-use utrr_bench::{arg_value, emit_metrics, metrics_out_path, run_registry};
+use utrr_bench::{
+    arg_value, emit_metrics, metrics_out_path, par_config, run_registry, threads_arg,
+};
 use utrr_modules::{by_id, ModuleSpec};
 
 fn build_with(spec: &ModuleSpec, rows: u32, engine: Box<dyn MitigationEngine>) -> Module {
     let config = spec.build_scaled(rows, 5).config().clone();
     Module::with_engine(config, engine, 5)
+}
+
+/// One evaluation cell: a module, a pattern, and a mitigation, by name.
+/// Plain data so tasks can cross the worker pool — the engine and the
+/// pattern (neither of which is `Send`) are built inside the task.
+#[derive(Clone, Copy)]
+struct Cell {
+    id: &'static str,
+    pattern: &'static str,
+    mitigation: &'static str,
+}
+
+fn run_cell(cell: &Cell, rows: u32, para_prob: f64, config: &EvalConfig) -> (String, BankSweep) {
+    let spec = by_id(cell.id).expect("catalog module");
+    let (name, engine): (String, Box<dyn MitigationEngine>) = match cell.mitigation {
+        "vendor" => (format!("vendor TRR ({})", spec.trr_version), spec.engine(5)),
+        "PARA" => ("PARA".into(), Box::new(Para::new(para_prob, 11))),
+        _ => (
+            "Graphene".into(),
+            Box::new(Graphene::new(GrapheneConfig::for_hc_first(spec.hc_first), spec.banks)),
+        ),
+    };
+    let module = build_with(&spec, rows, engine);
+    let sweep = if cell.pattern == "custom (U-TRR)" {
+        let pattern = custom::pattern_for(&spec);
+        sweep_bank_module(module, pattern.as_ref(), config)
+    } else {
+        sweep_bank_module(module, &DoubleSided::max_rate(), config)
+    };
+    (name, sweep)
 }
 
 fn main() {
@@ -32,6 +63,7 @@ fn main() {
         arg_value(&args, "--para-prob").and_then(|v| v.parse().ok()).unwrap_or(0.001);
     let metrics_path = metrics_out_path(&args);
     let registry = run_registry();
+    let pool = par_config(threads_arg(&args), &registry);
     let config = EvalConfig {
         sample_count: samples,
         scaled_rows: Some(rows),
@@ -47,39 +79,34 @@ fn main() {
         "module", "pattern", "mitigation", "vulnerable", "max flips/row"
     );
 
+    // The full evaluation grid, one pool task per cell; results land in
+    // grid order so the table prints identically for any thread count.
+    let mut cells = Vec::new();
     for id in ["A5", "B0", "C9"] {
-        let spec = by_id(id).expect("catalog module");
-        let custom_pattern = custom::pattern_for(&spec);
-        let double_sided = DoubleSided::max_rate();
-        let patterns: [(&str, &dyn AccessPattern); 2] =
-            [("custom (U-TRR)", custom_pattern.as_ref()), ("double-sided", &double_sided)];
-        for (label, pattern) in patterns {
-            let mitigations: Vec<(String, Box<dyn MitigationEngine>)> = vec![
-                (format!("vendor TRR ({})", spec.trr_version), spec.engine(5)),
-                ("PARA".into(), Box::new(Para::new(para_prob, 11))),
-                (
-                    "Graphene".into(),
-                    Box::new(Graphene::new(
-                        GrapheneConfig::for_hc_first(spec.hc_first),
-                        spec.banks,
-                    )),
-                ),
-            ];
-            for (name, engine) in mitigations {
-                let module = build_with(&spec, rows, engine);
-                let sweep = sweep_bank_module(module, pattern, &config);
-                println!(
-                    "{:<8} {:<18} {:<22} {:>10.1}% {:>14}",
-                    spec.id,
-                    label,
-                    name,
-                    sweep.vulnerable_pct(),
-                    sweep.max_flips_per_row(),
-                );
+        for pattern in ["custom (U-TRR)", "double-sided"] {
+            for mitigation in ["vendor", "PARA", "Graphene"] {
+                cells.push(Cell { id, pattern, mitigation });
             }
         }
-        println!();
     }
+    let results = par::par_map(&pool, &cells, |cell| run_cell(cell, rows, para_prob, &config));
+
+    let mut last_id = "";
+    for (cell, (name, sweep)) in cells.iter().zip(&results) {
+        if !last_id.is_empty() && cell.id != last_id {
+            println!();
+        }
+        last_id = cell.id;
+        println!(
+            "{:<8} {:<18} {:<22} {:>10.1}% {:>14}",
+            cell.id,
+            cell.pattern,
+            name,
+            sweep.vulnerable_pct(),
+            sweep.max_flips_per_row(),
+        );
+    }
+    println!();
     println!("# Expected shape: the custom patterns defeat the vendor TRR but neither");
     println!("# PARA (nothing to divert) nor Graphene (deterministic counter bound).");
 

@@ -13,7 +13,7 @@
 
 use attacks::custom;
 use attacks::eval::{sweep_bank, BankSweep, EvalConfig};
-use dram_sim::{Bank, Nanos};
+use dram_sim::{Bank, Module, ModuleConfig, Nanos, RowAddr};
 use softmc::MemoryController;
 use utrr_core::reverse::{self, DetectionKind, ReverseOptions, TrrProfile};
 use utrr_core::schedule::{learn_group_schedules, learn_refresh_schedule};
@@ -192,7 +192,7 @@ pub fn attack_columns(spec: &ModuleSpec, config: &EvalConfig) -> BankSweep {
 }
 
 /// One point of the Fig. 8 sweep.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig8Point {
     /// Average hammers per aggressor per `REF`.
     pub hammers: f64,
@@ -200,20 +200,97 @@ pub struct Fig8Point {
     pub quartiles: (u32, u32, u32, u32, u32),
 }
 
+/// One point of the Fig. 8 sweep: a fresh module evaluated at hammer
+/// rate `h`. Both the sequential and the parallel sweep call exactly
+/// this function per point, which is what makes them bit-identical.
+fn fig8_point(spec: &ModuleSpec, h: f64, config: &EvalConfig) -> Fig8Point {
+    let pattern = custom::pattern_with_hammers(spec, h);
+    let sweep = sweep_bank(spec, pattern.as_ref(), config);
+    Fig8Point { hammers: sweep.hammers_per_aggressor_per_ref, quartiles: sweep.flip_quartiles() }
+}
+
 /// Sweeps hammers-per-aggressor for one module (Fig. 8's per-module
 /// panel).
 pub fn fig8_sweep(spec: &ModuleSpec, hammer_values: &[f64], config: &EvalConfig) -> Vec<Fig8Point> {
-    hammer_values
-        .iter()
-        .map(|&h| {
-            let pattern = custom::pattern_with_hammers(spec, h);
-            let sweep = sweep_bank(spec, pattern.as_ref(), config);
-            Fig8Point {
-                hammers: sweep.hammers_per_aggressor_per_ref,
-                quartiles: sweep.flip_quartiles(),
-            }
-        })
-        .collect()
+    hammer_values.iter().map(|&h| fig8_point(spec, h, config)).collect()
+}
+
+/// [`fig8_sweep`] fanned over a worker pool. Every grid point builds its
+/// own module from `(spec, config.seed)`, so points are independent and
+/// the result is bit-identical to the sequential sweep for any thread
+/// count.
+pub fn fig8_sweep_par(
+    spec: &ModuleSpec,
+    hammer_values: &[f64],
+    config: &EvalConfig,
+    pool: &par::ParConfig,
+) -> Vec<Fig8Point> {
+    par::par_map(pool, hammer_values, |&h| fig8_point(spec, h, config))
+}
+
+/// [`attack_columns`] for many modules on a worker pool, one task per
+/// module; results are in `specs` order.
+pub fn attack_columns_par(
+    specs: &[ModuleSpec],
+    config: &EvalConfig,
+    pool: &par::ParConfig,
+) -> Vec<BankSweep> {
+    par::par_map(pool, specs, |spec| attack_columns(spec, config))
+}
+
+/// [`reverse_engineer_module_with`] for many modules on a worker pool;
+/// results are in `specs` order. Each task builds its own module (and
+/// engine) inside the worker, so nothing non-`Send` crosses threads.
+pub fn reverse_engineer_modules_par(
+    specs: &[ModuleSpec],
+    rows: u32,
+    seed: u64,
+    registry: Option<&std::sync::Arc<obs::MetricsRegistry>>,
+    pool: &par::ParConfig,
+) -> Vec<ReOutcome> {
+    par::par_map(pool, specs, |spec| reverse_engineer_module_with(spec, rows, seed, registry))
+}
+
+/// [`measure_hc_first_with`] for many modules on a worker pool; results
+/// are in `specs` order.
+pub fn measure_hc_first_modules_par(
+    specs: &[ModuleSpec],
+    rows: u32,
+    samples: u32,
+    seed: u64,
+    registry: Option<&std::sync::Arc<obs::MetricsRegistry>>,
+    pool: &par::ParConfig,
+) -> Vec<u64> {
+    par::par_map(pool, specs, |spec| measure_hc_first_with(spec, rows, samples, seed, registry))
+}
+
+/// Everything that determines a reverse-engineering outcome for a spec,
+/// folded into a memoization key: the fields feeding the scaled module
+/// build (geometry, physics, mapping, topology, refresh schedule,
+/// engine) and the `ReverseOptions` inputs. Two specs with equal keys
+/// produce byte-identical [`ReOutcome`]s (modulo `id`), so
+/// `repro-table1` reverse engineers each distinct key once and reuses
+/// the outcome — re-running only when inputs actually differ.
+pub fn re_input_key(spec: &ModuleSpec) -> String {
+    format!(
+        "{:?}|{}|{}|{}|{}|{}|{:?}|{}|{}|{}|{:?}|{}|{:?}|{:?}|{:?}|{:?}",
+        spec.vendor,
+        spec.density_gbit,
+        spec.ranks,
+        spec.banks,
+        spec.pins,
+        spec.hc_first,
+        spec.trr_version,
+        spec.per_bank_trr,
+        spec.trr_to_ref_ratio,
+        spec.neighbors_refreshed,
+        spec.aggressor_capacity,
+        spec.detection,
+        spec.mapping(),
+        spec.topology(),
+        spec.physics(),
+        spec.refresh(),
+    )
 }
 
 /// A tiny ASCII sparkline box for a five-number summary, for terminal
@@ -280,6 +357,123 @@ pub fn emit_metrics(
 /// Whether a bare `--flag` is present.
 pub fn arg_flag(args: &[String], key: &str) -> bool {
     args.iter().any(|a| a == key)
+}
+
+/// Worker count for a run: the `--threads <n>` argument, with the
+/// `UTRR_THREADS` environment variable as fallback and the machine's
+/// available parallelism as default. Shared by every repro binary.
+pub fn threads_arg(args: &[String]) -> usize {
+    par::resolve_threads(arg_value(args, "--threads").and_then(|v| v.parse().ok()))
+}
+
+/// The worker-pool configuration for a run: `threads` workers with
+/// per-worker metrics (task counts, queue-wait and task-latency
+/// histograms, worker spans) landing in the run `registry`.
+pub fn par_config(
+    threads: usize,
+    registry: &std::sync::Arc<obs::MetricsRegistry>,
+) -> par::ParConfig {
+    par::ParConfig::metered(threads, std::sync::Arc::clone(registry))
+}
+
+/// Wall-clock per phase of a benchmark run, serialised to the
+/// `BENCH_sweep.json` baseline artifact by [`BenchPhases::write`].
+///
+/// Hand-rolled JSON (schema `utrr-bench/1`): one object with the thread
+/// count, a `phases` array of `{name, wall_ms}` pairs in execution
+/// order, and a flat `scalars` object for extra measurements (e.g. the
+/// device micro-benchmark's ns-per-ACT).
+#[derive(Debug, Default)]
+pub struct BenchPhases {
+    threads: usize,
+    phases: Vec<(String, f64)>,
+    scalars: Vec<(String, f64)>,
+}
+
+impl BenchPhases {
+    /// A new recorder for a run using `threads` workers.
+    pub fn new(threads: usize) -> Self {
+        BenchPhases { threads, phases: Vec::new(), scalars: Vec::new() }
+    }
+
+    /// Records `phase` as having taken `elapsed` of wall-clock time.
+    pub fn record(&mut self, phase: &str, elapsed: std::time::Duration) {
+        self.phases.push((phase.to_string(), elapsed.as_secs_f64() * 1e3));
+    }
+
+    /// Runs `f`, recording its wall-clock under `phase`, and returns its
+    /// result.
+    pub fn time<R>(&mut self, phase: &str, f: impl FnOnce() -> R) -> R {
+        let start = std::time::Instant::now();
+        let result = f();
+        self.record(phase, start.elapsed());
+        result
+    }
+
+    /// Records a named scalar measurement (e.g. `device_ns_per_act`).
+    pub fn scalar(&mut self, name: &str, value: f64) {
+        self.scalars.push((name.to_string(), value));
+    }
+
+    /// Renders the artifact as JSON.
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.chars()
+                .flat_map(|c| match c {
+                    '"' => vec!['\\', '"'],
+                    '\\' => vec!['\\', '\\'],
+                    c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+                    c => vec![c],
+                })
+                .collect()
+        }
+        let mut out = String::from("{\"schema\":\"utrr-bench/1\",");
+        out.push_str(&format!("\"threads\":{},\"phases\":[", self.threads));
+        for (i, (name, ms)) in self.phases.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{{\"name\":\"{}\",\"wall_ms\":{:.3}}}", esc(name), ms));
+        }
+        out.push_str("],\"scalars\":{");
+        for (i, (name, value)) in self.scalars.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{:.3}", esc(name), value));
+        }
+        out.push_str("}}\n");
+        out
+    }
+
+    /// Writes the artifact to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error if the file cannot be written.
+    pub fn write(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// A small device micro-benchmark: the average wall-clock cost in
+/// nanoseconds of one `hammer(1)` command against an unmitigated test
+/// module. Recorded into `BENCH_sweep.json` so per-command device cost
+/// is tracked as a baseline across changes.
+pub fn device_ns_per_act() -> f64 {
+    let mut module = Module::new(ModuleConfig::small_test(), 11);
+    let bank = Bank::new(0);
+    let rows = module.config().geometry.rows_per_bank.min(64);
+    // Warm the row map so the measurement is steady-state.
+    for r in 0..rows {
+        module.hammer(bank, RowAddr::new(r), 1).expect("warm-up hammer");
+    }
+    const ITERS: u32 = 50_000;
+    let start = std::time::Instant::now();
+    for i in 0..ITERS {
+        module.hammer(bank, RowAddr::new(i % rows), 1).expect("bench hammer");
+    }
+    start.elapsed().as_nanos() as f64 / f64::from(ITERS)
 }
 
 /// Builds an analyzer with learned schedules for every group — used by

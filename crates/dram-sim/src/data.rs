@@ -170,7 +170,12 @@ impl RowReadout {
     /// `(chunk index, flips in chunk)` for every chunk with at least one
     /// flip.
     pub fn flips_per_dataword(&self) -> Vec<(u32, u32)> {
-        let mut out: Vec<(u32, u32)> = Vec::new();
+        // `flipped` is sorted ascending, so all flips of one chunk are
+        // contiguous: a single pass suffices, and the output can never
+        // hold more entries than flips or than datawords in the row —
+        // pre-size to that bound so the scan never reallocates.
+        let bound = self.flipped.len().min(self.dataword_count().max(1) as usize);
+        let mut out: Vec<(u32, u32)> = Vec::with_capacity(bound);
         for &bit in &self.flipped {
             let chunk = bit / 64;
             match out.last_mut() {
@@ -234,5 +239,39 @@ mod tests {
     fn pattern_labels_are_stable() {
         assert_eq!(DataPattern::Ones.to_string(), "ones");
         assert_eq!(DataPattern::RowStripe.label(), "rowstripe");
+    }
+
+    #[test]
+    fn dataword_histogram_matches_bruteforce_reference() {
+        // Pin the single-pass aggregation against the obvious O(chunks ×
+        // flips) reference over randomized sorted flip sets.
+        let row_bits: u32 = 2048;
+        for seed in 0..64u64 {
+            let mut rng = crate::rng::SplitMix64::new(seed);
+            let mut bits: Vec<u32> = (0..rng.next_u64() % 96)
+                .map(|_| (rng.next_u64() % row_bits as u64) as u32)
+                .collect();
+            bits.sort_unstable();
+            bits.dedup();
+            let r = RowReadout::new(RowAddr::new(0), DataPattern::Ones, bits.clone(), row_bits);
+            let mut expected: Vec<(u32, u32)> = Vec::new();
+            for chunk in 0..row_bits / 64 {
+                let n = bits.iter().filter(|&&b| b / 64 == chunk).count() as u32;
+                if n > 0 {
+                    expected.push((chunk, n));
+                }
+            }
+            assert_eq!(r.flips_per_dataword(), expected, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn dataword_histogram_edge_cases() {
+        let empty = RowReadout::new(RowAddr::new(0), DataPattern::Ones, vec![], 1024);
+        assert!(empty.flips_per_dataword().is_empty());
+        // Every flip in the same chunk, and a flip in the last chunk.
+        let dense =
+            RowReadout::new(RowAddr::new(0), DataPattern::Ones, vec![64, 65, 127, 1023], 1024);
+        assert_eq!(dense.flips_per_dataword(), vec![(1, 3), (15, 1)]);
     }
 }

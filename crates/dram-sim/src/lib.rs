@@ -57,6 +57,7 @@
 pub mod addr;
 pub mod data;
 pub mod error;
+pub mod fxhash;
 pub mod mapping;
 pub mod metrics;
 pub mod mitigation;
@@ -69,9 +70,12 @@ pub mod time;
 pub use addr::{Bank, ColAddr, ModuleGeometry, PhysRow, RowAddr};
 pub use data::{DataPattern, RowReadout};
 pub use error::DramError;
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use mapping::{RowMapping, Topology};
 pub use metrics::DeviceMetrics;
-pub use mitigation::{MitigationEngine, NeighborSpan, NoMitigation, TrrDetection};
+pub use mitigation::{
+    MitigationEngine, MitigationEngineExt, NeighborSpan, NoMitigation, TrrDetection,
+};
 pub use module::{Module, ModuleConfig, RefreshConfig};
 pub use physics::PhysicsConfig;
 pub use stats::ModuleStats;

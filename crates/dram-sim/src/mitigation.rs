@@ -99,21 +99,27 @@ pub trait MitigationEngine: fmt::Debug {
         }
     }
 
-    /// Called for every `REF` command; returns the aggressor detections
-    /// whose victims this `REF` will refresh.
-    fn on_refresh(&mut self, now: Nanos) -> Vec<TrrDetection>;
+    /// Called for every `REF` command; appends the aggressor detections
+    /// whose victims this `REF` will refresh onto `out`.
+    ///
+    /// The device hands every engine the same reusable buffer (cleared
+    /// before the call), so the refresh hot loop performs no per-`REF`
+    /// heap allocation. Engines must only *append*; anything already in
+    /// `out` belongs to the caller. Tests that want an owned `Vec` use
+    /// [`MitigationEngineExt::refresh_detections`].
+    fn on_refresh(&mut self, now: Nanos, out: &mut Vec<TrrDetection>);
 
-    /// Detections to act on *immediately*, drained after every
+    /// Appends detections to act on *immediately*, drained after every
     /// activation batch. In-DRAM TRR never uses this (it piggybacks on
     /// `REF` — §2.4 of the paper), but proposed ACT-synchronous
     /// mitigations like PARA and Graphene refresh victims the moment an
     /// aggressor is caught. The device restores the victims right after
     /// the batch whose activations produced them, so within one batch
     /// (≤ ~149 activations, far below any flip threshold) the timing
-    /// approximation is harmless.
-    fn take_inline_detections(&mut self) -> Vec<TrrDetection> {
-        Vec::new()
-    }
+    /// approximation is harmless. Like [`MitigationEngine::on_refresh`]
+    /// this fills a caller-owned reusable buffer; the default appends
+    /// nothing.
+    fn take_inline_detections(&mut self, _out: &mut Vec<TrrDetection>) {}
 
     /// Hands the engine the metrics registry of the device it protects,
     /// called on construction and whenever a new registry is attached
@@ -130,17 +136,40 @@ pub trait MitigationEngine: fmt::Debug {
     fn name(&self) -> &str;
 }
 
+/// Owned-`Vec` adaptors over the buffer-filling [`MitigationEngine`]
+/// hooks, for tests, benches, and call sites outside the refresh hot
+/// loop. Blanket-implemented for every engine (including trait
+/// objects).
+pub trait MitigationEngineExt: MitigationEngine {
+    /// [`MitigationEngine::on_refresh`] into a freshly allocated `Vec`.
+    fn refresh_detections(&mut self, now: Nanos) -> Vec<TrrDetection> {
+        let mut out = Vec::new();
+        self.on_refresh(now, &mut out);
+        out
+    }
+
+    /// [`MitigationEngine::take_inline_detections`] into a freshly
+    /// allocated `Vec`.
+    fn inline_detections(&mut self) -> Vec<TrrDetection> {
+        let mut out = Vec::new();
+        self.take_inline_detections(&mut out);
+        out
+    }
+}
+
+impl<E: MitigationEngine + ?Sized> MitigationEngineExt for E {}
+
 /// The null mitigation: a chip without TRR. Useful as a baseline and for
 /// testing the pure retention/RowHammer physics.
 ///
 /// # Example
 ///
 /// ```
-/// use dram_sim::{MitigationEngine, NoMitigation, Bank, PhysRow, Nanos};
+/// use dram_sim::{MitigationEngine, MitigationEngineExt, NoMitigation, Bank, PhysRow, Nanos};
 ///
 /// let mut none = NoMitigation;
 /// none.on_activations(Bank::new(0), PhysRow::new(1), 1000, Nanos::ZERO);
-/// assert!(none.on_refresh(Nanos::ZERO).is_empty());
+/// assert!(none.refresh_detections(Nanos::ZERO).is_empty());
 /// ```
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NoMitigation;
@@ -148,9 +177,7 @@ pub struct NoMitigation;
 impl MitigationEngine for NoMitigation {
     fn on_activations(&mut self, _: Bank, _: PhysRow, _: u64, _: Nanos) {}
 
-    fn on_refresh(&mut self, _: Nanos) -> Vec<TrrDetection> {
-        Vec::new()
-    }
+    fn on_refresh(&mut self, _: Nanos, _out: &mut Vec<TrrDetection>) {}
 
     fn reset(&mut self) {}
 
@@ -176,7 +203,8 @@ mod tests {
         for i in 0..100 {
             e.on_activations(Bank::new(0), PhysRow::new(i), 10_000, Nanos::ZERO);
         }
-        assert!(e.on_refresh(Nanos::from_us(8)).is_empty());
+        assert!(e.refresh_detections(Nanos::from_us(8)).is_empty());
+        assert!(e.inline_detections().is_empty());
         e.reset();
         assert_eq!(e.name(), "none");
     }
@@ -190,9 +218,7 @@ mod tests {
             fn on_activations(&mut self, _: Bank, row: PhysRow, count: u64, _: Nanos) {
                 self.0.push((row.index(), count));
             }
-            fn on_refresh(&mut self, _: Nanos) -> Vec<TrrDetection> {
-                Vec::new()
-            }
+            fn on_refresh(&mut self, _: Nanos, _: &mut Vec<TrrDetection>) {}
             fn reset(&mut self) {
                 self.0.clear();
             }

@@ -22,7 +22,6 @@
 //! refreshes internally every 3758 REFs instead of every ~8192) is a
 //! [`RefreshConfig`] parameter.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use obs::MetricsRegistry;
@@ -30,9 +29,10 @@ use obs::MetricsRegistry;
 use crate::addr::{Bank, ModuleGeometry, PhysRow, RowAddr};
 use crate::data::{DataPattern, RowData, RowReadout};
 use crate::error::DramError;
+use crate::fxhash::FxHashMap;
 use crate::mapping::{RowMapping, Topology};
 use crate::metrics::{DeviceMetrics, EVT_BIT_FLIP, EVT_TRR_DETECTION};
-use crate::mitigation::{MitigationEngine, NoMitigation};
+use crate::mitigation::{MitigationEngine, NoMitigation, TrrDetection};
 use crate::physics::{window_flips, PhysicsConfig, RowPhysics, RowPhysicsView};
 use crate::stats::ModuleStats;
 use crate::time::{Nanos, Timings};
@@ -128,8 +128,17 @@ pub struct Module {
     seed: u64,
     now: Nanos,
     ref_count: u64,
-    rows: HashMap<u64, RowState>,
+    rows: FxHashMap<u64, RowState>,
+    /// One bit per `(bank, physical row)`: set iff the row has an entry
+    /// in `rows`. `REF`'s round-robin scan and TRR victim restores
+    /// consult this O(1) index instead of hashing every candidate row —
+    /// untouched rows (the overwhelming majority of a 64K-row bank
+    /// under a targeted attack) cost one bit test.
+    touched: Vec<u64>,
     banks: Vec<BankState>,
+    /// Reusable drain buffer for mitigation detections, so the `REF`
+    /// and post-batch hot paths allocate nothing per command.
+    detect_buf: Vec<TrrDetection>,
     metrics: DeviceMetrics,
 }
 
@@ -142,6 +151,7 @@ impl Module {
     /// Creates a module protected by the given mitigation engine.
     pub fn with_engine(config: ModuleConfig, engine: Box<dyn MitigationEngine>, seed: u64) -> Self {
         let banks = vec![BankState::default(); config.geometry.banks as usize];
+        let row_slots = config.geometry.banks as usize * config.geometry.rows_per_bank as usize;
         let metrics = DeviceMetrics::private();
         let mut engine = engine;
         engine.attach_metrics(metrics.registry());
@@ -151,8 +161,10 @@ impl Module {
             seed,
             now: Nanos::ZERO,
             ref_count: 0,
-            rows: HashMap::new(),
+            rows: FxHashMap::default(),
+            touched: vec![0u64; row_slots.div_ceil(64)],
             banks,
+            detect_buf: Vec::new(),
             metrics,
         }
     }
@@ -434,7 +446,8 @@ impl Module {
         self.check_bank(bank)?;
         self.check_row(first)?;
         self.check_row(second)?;
-        if let Some((open, _)) = self.banks[bank.index() as usize].open {
+        let bank_idx = bank.index() as usize;
+        if let Some((open, _)) = self.banks[bank_idx].open {
             return Err(DramError::BankAlreadyOpen { bank, open });
         }
         if pairs == 0 {
@@ -449,23 +462,45 @@ impl Module {
         self.restore(bank, p1);
         self.restore(bank, p2);
         let discount = self.config.physics.same_row_discount;
-        let first_weight = if self.banks[bank.index() as usize].last_act == Some(p1) {
-            discount + (pairs - 1) as f64
-        } else {
-            pairs as f64
-        };
+        let p1_was_last = self.banks[bank_idx].last_act == Some(p1);
+        let first_weight = if p1_was_last { discount + (pairs - 1) as f64 } else { pairs as f64 };
+        #[cfg(debug_assertions)]
+        {
+            // The batched accounting above must equal the loop
+            // equivalent: p1's first activation carries the same-row
+            // discount iff p1 was the last ACT; every later p1
+            // activation follows one of p2 (full weight), as does every
+            // p2 activation, and the batch issues exactly 2*pairs ACTs.
+            let mut loop_w1 = if p1_was_last { discount } else { 1.0 };
+            let mut loop_w2 = 0.0f64;
+            let mut loop_acts = 0u64;
+            for pair in 0..pairs {
+                if pair > 0 {
+                    loop_w1 += 1.0;
+                }
+                loop_w2 += 1.0;
+                loop_acts += 2;
+            }
+            let close = |a: f64, b: f64| (a - b).abs() <= 1e-6 * (1.0 + b.abs());
+            debug_assert_eq!(loop_acts, 2 * pairs, "batched ACT count != loop equivalent");
+            debug_assert!(
+                close(loop_w1, first_weight) && close(loop_w2, pairs as f64),
+                "batched hammer weights ({first_weight}, {}) != loop equivalent \
+                 ({loop_w1}, {loop_w2})",
+                pairs as f64,
+            );
+        }
         self.disturb_from(bank, p1, first_weight);
         self.disturb_from(bank, p2, pairs as f64);
         // Each real alternation cycle re-restores both aggressors, so the
         // radius-2 disturbance they deposit on *each other* never
         // accumulates past one cycle; the batch restores them only once
         // up front, so clear the residue it would otherwise pile up.
-        for p in [p1, p2] {
-            self.row_state(bank, p).disturbance = 0.0;
-        }
+        self.row_state(bank, p1).disturbance = 0.0;
+        self.row_state(bank, p2).disturbance = 0.0;
         self.engine.on_interleaved_pair(bank, p1, p2, pairs, self.now);
         self.apply_inline_detections();
-        self.banks[bank.index() as usize].last_act = Some(p2);
+        self.banks[bank_idx].last_act = Some(p2);
         self.metrics.act.add(2 * pairs);
         if self.metrics.detail() {
             self.metrics.act_ns.record_n(self.config.timings.t_rc().as_ns(), 2 * pairs);
@@ -491,8 +526,11 @@ impl Module {
                 }
             }
         }
-        let detections = self.engine.on_refresh(self.now);
-        self.apply_detections(detections);
+        let mut detections = std::mem::take(&mut self.detect_buf);
+        detections.clear();
+        self.engine.on_refresh(self.now, &mut detections);
+        self.apply_detections(&detections);
+        self.detect_buf = detections;
         self.ref_count += 1;
         self.metrics.refresh.inc();
         if self.metrics.detail() {
@@ -502,7 +540,9 @@ impl Module {
     }
 
     /// Issues `count` `REF` commands paced one per `tREFI` (the idle gap
-    /// between them is dead time).
+    /// between them is dead time). The idle gap and the engine's drain
+    /// buffer are loop invariants: each `refresh()` reuses the module's
+    /// detection buffer, so the burst performs no per-`REF` allocation.
     pub fn refresh_burst_at_refi(&mut self, count: u64) {
         let idle = self.config.timings.t_refi.saturating_sub(self.config.timings.t_rfc);
         for _ in 0..count {
@@ -529,6 +569,18 @@ impl Module {
         (bank.index() as u64) << 32 | phys.index() as u64
     }
 
+    fn touched_slot(&self, bank: Bank, phys: PhysRow) -> (usize, u64) {
+        let index = bank.index() as usize * self.config.geometry.rows_per_bank as usize
+            + phys.index() as usize;
+        (index / 64, 1u64 << (index % 64))
+    }
+
+    /// Whether `(bank, phys)` has an entry in the row table.
+    fn is_touched(&self, bank: Bank, phys: PhysRow) -> bool {
+        let (word, mask) = self.touched_slot(bank, phys);
+        self.touched[word] & mask != 0
+    }
+
     fn check_bank(&self, bank: Bank) -> Result<(), DramError> {
         if self.config.geometry.bank_in_range(bank) {
             Ok(())
@@ -549,40 +601,51 @@ impl Module {
         self.banks[bank.index() as usize].open.ok_or(DramError::BankClosed { bank })
     }
 
-    /// Get-or-create the state of a row.
+    /// Get-or-create the state of a row. The `touched` bit doubles as
+    /// the existence check, so the common "row already exists" path
+    /// costs one bit test plus one hash lookup.
     fn row_state(&mut self, bank: Bank, phys: PhysRow) -> &mut RowState {
         let key = Self::key(bank, phys);
-        let now = self.now;
-        let seed = self.seed;
-        let cfg = &self.config;
-        let row_bits = cfg.geometry.row_bits();
-        let physics_cfg = &cfg.physics;
-        self.rows.entry(key).or_insert_with(|| RowState {
-            last_restore: now,
-            disturbance: 0.0,
-            data: None,
-            physics: RowPhysics::derive(physics_cfg, seed, key, row_bits),
-        })
+        if !self.is_touched(bank, phys) {
+            let (word, mask) = self.touched_slot(bank, phys);
+            self.touched[word] |= mask;
+            let state = RowState {
+                last_restore: self.now,
+                disturbance: 0.0,
+                data: None,
+                physics: RowPhysics::derive(
+                    &self.config.physics,
+                    self.seed,
+                    key,
+                    self.config.geometry.row_bits(),
+                ),
+            };
+            self.rows.insert(key, state);
+        }
+        self.rows.get_mut(&key).expect("touched bit implies a row entry")
     }
 
     /// Ends the decay window of a row: materializes retention and
     /// RowHammer flips into its data, then marks it fully restored.
     fn restore(&mut self, bank: Bank, phys: PhysRow) {
+        if !self.is_touched(bank, phys) {
+            // First touch: a freshly created state is already restored.
+            let _ = self.row_state(bank, phys);
+            return;
+        }
         let now = self.now;
         let row_bits = self.config.geometry.row_bits();
-        {
-            let state = self.row_state(bank, phys);
-            if now - state.last_restore == Nanos::ZERO && state.disturbance == 0.0 {
-                return;
-            }
+        let key = Self::key(bank, phys);
+        let state = self.rows.get_mut(&key).expect("touched bit implies a row entry");
+        if now - state.last_restore == Nanos::ZERO && state.disturbance == 0.0 {
+            return;
         }
-        let cfg = self.config.physics.clone();
-        let state = self.row_state(bank, phys);
+        let cfg = &self.config.physics;
         let elapsed = now - state.last_restore;
         let mut new_flips = 0u64;
         if let Some(data) = &mut state.data {
             let flips =
-                window_flips(&state.physics, &cfg, elapsed, state.disturbance, row_bits, |bit| {
+                window_flips(&state.physics, cfg, elapsed, state.disturbance, row_bits, |bit| {
                     data.bit(bit)
                 });
             new_flips = flips.len() as u64;
@@ -591,7 +654,7 @@ impl Module {
             }
         }
         if elapsed >= VRT_OBSERVATION_FLOOR {
-            state.physics.advance_vrt(&cfg);
+            state.physics.advance_vrt(cfg);
         }
         state.last_restore = now;
         state.disturbance = 0.0;
@@ -612,8 +675,11 @@ impl Module {
     /// Drains ACT-synchronous detections (PARA/Graphene-style engines)
     /// and refreshes their victims immediately.
     fn apply_inline_detections(&mut self) {
-        let detections = self.engine.take_inline_detections();
-        self.apply_detections(detections);
+        let mut detections = std::mem::take(&mut self.detect_buf);
+        detections.clear();
+        self.engine.take_inline_detections(&mut detections);
+        self.apply_detections(&detections);
+        self.detect_buf = detections;
     }
 
     /// Refreshes the victims of mitigation detections. A targeted
@@ -623,9 +689,9 @@ impl Module {
     /// paper's related work). Regular refresh activates every row
     /// uniformly and its disturbance self-balances, so only targeted
     /// refreshes are modelled as disturbing.
-    fn apply_detections(&mut self, detections: Vec<crate::mitigation::TrrDetection>) {
+    fn apply_detections(&mut self, detections: &[TrrDetection]) {
         self.metrics.trr_detections.add(detections.len() as u64);
-        for det in detections {
+        for &det in detections {
             self.metrics.event(
                 EVT_TRR_DETECTION,
                 self.now.as_ns(),
@@ -651,9 +717,10 @@ impl Module {
 
     /// Restores a row only if it has ever been touched; returns whether a
     /// restore happened. Untouched rows have no observable state, so
-    /// skipping them is semantically free and keeps `REF` cheap.
+    /// skipping them is semantically free and keeps `REF` cheap — the
+    /// existence test is one bit in the `touched` index, no hashing.
     fn restore_existing(&mut self, bank: Bank, phys: PhysRow) -> bool {
-        if self.rows.contains_key(&Self::key(bank, phys)) {
+        if self.is_touched(bank, phys) {
             self.restore(bank, phys);
             true
         } else {

@@ -158,12 +158,12 @@ impl BankTable {
 /// # Example
 ///
 /// ```
-/// use dram_sim::{MitigationEngine, Bank, PhysRow, Nanos};
+/// use dram_sim::{MitigationEngine, MitigationEngineExt, Bank, PhysRow, Nanos};
 /// use trr::CounterTrr;
 ///
 /// let mut e = CounterTrr::a_trr2(2);
 /// e.on_activations(Bank::new(1), PhysRow::new(7), 1_000, Nanos::ZERO);
-/// let detections: Vec<_> = (0..9).flat_map(|_| e.on_refresh(Nanos::ZERO)).collect();
+/// let detections: Vec<_> = (0..9).flat_map(|_| e.refresh_detections(Nanos::ZERO)).collect();
 /// assert_eq!(detections.len(), 1);
 /// assert_eq!(detections[0].bank, Bank::new(1));
 /// ```
@@ -273,27 +273,27 @@ impl MitigationEngine for CounterTrr {
         }
     }
 
-    fn on_refresh(&mut self, _now: Nanos) -> Vec<TrrDetection> {
+    fn on_refresh(&mut self, _now: Nanos, out: &mut Vec<TrrDetection>) {
         self.ref_count += 1;
         if !self.ref_count.is_multiple_of(self.config.trr_ref_interval) {
-            return Vec::new();
+            return;
         }
         let tref_a = self.next_is_tref_a;
         self.next_is_tref_a = !tref_a;
         let span = self.config.span;
-        let mut detections = Vec::new();
+        let before = out.len();
         for (idx, table) in self.banks.iter_mut().enumerate() {
             let detected = if tref_a { table.detect_max() } else { table.detect_pointer() };
             if let Some(row) = detected {
-                detections.push(TrrDetection { bank: Bank::new(idx as u8), aggressor: row, span });
+                out.push(TrrDetection { bank: Bank::new(idx as u8), aggressor: row, span });
             }
         }
-        if !detections.is_empty() {
+        let detected = (out.len() - before) as u64;
+        if detected > 0 {
             if let Some(c) = &self.det_ctr {
-                c.add(detections.len() as u64);
+                c.add(detected);
             }
         }
-        detections
     }
 
     fn attach_metrics(&mut self, registry: &std::sync::Arc<obs::MetricsRegistry>) {
@@ -318,6 +318,7 @@ impl MitigationEngine for CounterTrr {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dram_sim::MitigationEngineExt;
 
     const B0: Bank = Bank::new(0);
     const T0: Nanos = Nanos::ZERO;
@@ -325,7 +326,7 @@ mod tests {
     fn drain_refs(e: &mut CounterTrr, refs: u64) -> Vec<(u64, TrrDetection)> {
         let mut out = Vec::new();
         for i in 0..refs {
-            for d in e.on_refresh(T0) {
+            for d in e.refresh_detections(T0) {
                 out.push((i + 1, d));
             }
         }
@@ -380,7 +381,7 @@ mod tests {
             for _ in 0..9 {
                 e.on_activations(B0, r0, 2_000, T0);
                 e.on_activations(B0, r1, 3_000, T0);
-                for d in e.on_refresh(T0) {
+                for d in e.refresh_detections(T0) {
                     caught.push(d.aggressor);
                 }
             }
@@ -448,7 +449,7 @@ mod tests {
         let mut e = CounterTrr::a_trr1(2);
         e.on_activations(Bank::new(0), PhysRow::new(1), 1_000, T0);
         e.on_activations(Bank::new(1), PhysRow::new(2), 1_000, T0);
-        let hits: Vec<TrrDetection> = (0..9).flat_map(|_| e.on_refresh(T0)).collect();
+        let hits: Vec<TrrDetection> = (0..9).flat_map(|_| e.refresh_detections(T0)).collect();
         assert_eq!(hits.len(), 2, "one detection per bank on a TRR REF");
         assert_ne!(hits[0].bank, hits[1].bank);
     }
@@ -464,7 +465,7 @@ mod tests {
         let mut e = CounterTrr::a_trr1(1);
         e.on_activations(B0, PhysRow::new(10), 5_000, T0);
         for _ in 0..5 {
-            e.on_refresh(T0);
+            e.refresh_detections(T0);
         }
         e.reset();
         assert!(e.table(B0).is_empty());
@@ -526,7 +527,7 @@ mod tests {
             for d in 0..dummies {
                 e.on_activations(B0, PhysRow::new(1_000 + d * 4), dummy_hammers, T0);
             }
-            for det in e.on_refresh(T0) {
+            for det in e.refresh_detections(T0) {
                 total_detections += 1;
                 if det.aggressor == a0 || det.aggressor == a1 {
                     aggressor_detections += 1;

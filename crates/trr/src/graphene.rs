@@ -110,12 +110,12 @@ impl BankTable {
 /// # Example
 ///
 /// ```
-/// use dram_sim::{MitigationEngine, Bank, PhysRow, Nanos};
+/// use dram_sim::{MitigationEngine, MitigationEngineExt, Bank, PhysRow, Nanos};
 /// use trr::{Graphene, GrapheneConfig};
 ///
 /// let mut e = Graphene::new(GrapheneConfig::for_hc_first(10_000), 1);
 /// e.on_activations(Bank::new(0), PhysRow::new(5), 2_500, Nanos::ZERO);
-/// assert_eq!(e.take_inline_detections().len(), 1); // threshold crossed
+/// assert_eq!(e.inline_detections().len(), 1); // threshold crossed
 /// ```
 pub struct Graphene {
     config: GrapheneConfig,
@@ -184,18 +184,17 @@ impl MitigationEngine for Graphene {
         self.observe(bank, second, pairs);
     }
 
-    fn on_refresh(&mut self, _now: Nanos) -> Vec<TrrDetection> {
+    fn on_refresh(&mut self, _now: Nanos, _out: &mut Vec<TrrDetection>) {
         self.ref_count += 1;
         if self.ref_count.is_multiple_of(self.config.window_refs) {
             for table in &mut self.banks {
                 table.reset();
             }
         }
-        Vec::new()
     }
 
-    fn take_inline_detections(&mut self) -> Vec<TrrDetection> {
-        std::mem::take(&mut self.pending)
+    fn take_inline_detections(&mut self, out: &mut Vec<TrrDetection>) {
+        out.append(&mut self.pending);
     }
 
     fn attach_metrics(&mut self, registry: &std::sync::Arc<obs::MetricsRegistry>) {
@@ -218,6 +217,7 @@ impl MitigationEngine for Graphene {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dram_sim::MitigationEngineExt;
 
     const B0: Bank = Bank::new(0);
     const T0: Nanos = Nanos::ZERO;
@@ -230,9 +230,9 @@ mod tests {
     fn threshold_crossing_fires_immediately() {
         let mut e = Graphene::new(config(), 1);
         e.on_activations(B0, PhysRow::new(5), 99, T0);
-        assert!(e.take_inline_detections().is_empty());
+        assert!(e.inline_detections().is_empty());
         e.on_activations(B0, PhysRow::new(5), 1, T0);
-        let det = e.take_inline_detections();
+        let det = e.inline_detections();
         assert_eq!(det.len(), 1);
         assert_eq!(det[0].aggressor, PhysRow::new(5));
     }
@@ -243,7 +243,7 @@ mod tests {
         let mut detections = 0;
         for _ in 0..10 {
             e.on_activations(B0, PhysRow::new(5), 100, T0);
-            detections += e.take_inline_detections().len();
+            detections += e.inline_detections().len();
         }
         assert_eq!(detections, 10);
     }
@@ -258,7 +258,7 @@ mod tests {
         for round in 0..50 {
             for r in 0..20u32 {
                 e.on_activations(B0, PhysRow::new(r), 10, T0);
-                if !e.take_inline_detections().is_empty() {
+                if !e.inline_detections().is_empty() {
                     fired = true;
                 }
             }
@@ -272,10 +272,10 @@ mod tests {
         let mut e = Graphene::new(config(), 1);
         e.on_activations(B0, PhysRow::new(5), 99, T0);
         for _ in 0..1_024 {
-            e.on_refresh(T0);
+            e.refresh_detections(T0);
         }
         e.on_activations(B0, PhysRow::new(5), 99, T0);
-        assert!(e.take_inline_detections().is_empty(), "counters were reset at the window");
+        assert!(e.inline_detections().is_empty(), "counters were reset at the window");
     }
 
     #[test]
@@ -283,7 +283,7 @@ mod tests {
         let mut e = Graphene::new(config(), 2);
         e.on_activations(Bank::new(0), PhysRow::new(5), 99, T0);
         e.on_activations(Bank::new(1), PhysRow::new(5), 1, T0);
-        assert!(e.take_inline_detections().is_empty(), "banks do not share counters");
+        assert!(e.inline_detections().is_empty(), "banks do not share counters");
     }
 
     #[test]

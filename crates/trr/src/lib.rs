@@ -34,14 +34,14 @@
 //! # Example
 //!
 //! ```
-//! use dram_sim::{MitigationEngine, Bank, PhysRow, Nanos};
+//! use dram_sim::{MitigationEngine, MitigationEngineExt, Bank, PhysRow, Nanos};
 //! use trr::CounterTrr;
 //!
 //! let mut engine = CounterTrr::a_trr1(1);
 //! // Hammer one row far more than everything else…
 //! engine.on_activations(Bank::new(0), PhysRow::new(100), 5_000, Nanos::ZERO);
 //! // …and the 9th REF detects it.
-//! let det = (0..9).flat_map(|_| engine.on_refresh(Nanos::ZERO)).next().unwrap();
+//! let det = (0..9).flat_map(|_| engine.refresh_detections(Nanos::ZERO)).next().unwrap();
 //! assert_eq!(det.aggressor, PhysRow::new(100));
 //! ```
 

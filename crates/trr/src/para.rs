@@ -24,13 +24,13 @@ use dram_sim::{Bank, MitigationEngine, Nanos, NeighborSpan, PhysRow, TrrDetectio
 /// # Example
 ///
 /// ```
-/// use dram_sim::{MitigationEngine, Bank, PhysRow, Nanos};
+/// use dram_sim::{MitigationEngine, MitigationEngineExt, Bank, PhysRow, Nanos};
 /// use trr::Para;
 ///
 /// let mut e = Para::new(0.01, 7);
 /// e.on_activations(Bank::new(0), PhysRow::new(5), 10_000, Nanos::ZERO);
 /// // With p = 1% over 10K activations, a refresh is all but certain.
-/// assert!(!e.take_inline_detections().is_empty());
+/// assert!(!e.inline_detections().is_empty());
 /// ```
 pub struct Para {
     /// Per-activation refresh probability.
@@ -102,12 +102,10 @@ impl MitigationEngine for Para {
         self.maybe_detect(bank, second, pairs);
     }
 
-    fn on_refresh(&mut self, _now: Nanos) -> Vec<TrrDetection> {
-        Vec::new()
-    }
+    fn on_refresh(&mut self, _now: Nanos, _out: &mut Vec<TrrDetection>) {}
 
-    fn take_inline_detections(&mut self) -> Vec<TrrDetection> {
-        std::mem::take(&mut self.pending)
+    fn take_inline_detections(&mut self, out: &mut Vec<TrrDetection>) {
+        out.append(&mut self.pending);
     }
 
     fn attach_metrics(&mut self, registry: &std::sync::Arc<obs::MetricsRegistry>) {
@@ -127,6 +125,7 @@ impl MitigationEngine for Para {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dram_sim::MitigationEngineExt;
 
     const B0: Bank = Bank::new(0);
     const T0: Nanos = Nanos::ZERO;
@@ -137,7 +136,7 @@ mod tests {
         let mut hits = 0;
         for i in 0..20_000u32 {
             e.on_activations(B0, PhysRow::new(i % 64), 1, T0);
-            hits += e.take_inline_detections().len();
+            hits += e.inline_detections().len();
         }
         let rate = hits as f64 / 20_000.0;
         assert!((rate - 0.002).abs() < 0.001, "observed {rate}");
@@ -149,7 +148,7 @@ mod tests {
         for seed in 0..200 {
             let mut e = Para::new(0.001, seed);
             e.on_activations(B0, PhysRow::new(1), 10_000, T0);
-            if e.take_inline_detections().is_empty() {
+            if e.inline_detections().is_empty() {
                 misses += 1;
             }
         }
@@ -161,14 +160,14 @@ mod tests {
     fn detections_are_drained_once() {
         let mut e = Para::new(1.0, 3);
         e.on_activations(B0, PhysRow::new(1), 1, T0);
-        assert_eq!(e.take_inline_detections().len(), 1);
-        assert!(e.take_inline_detections().is_empty());
+        assert_eq!(e.inline_detections().len(), 1);
+        assert!(e.inline_detections().is_empty());
     }
 
     #[test]
     fn refresh_path_is_inert() {
         let mut e = Para::new(0.5, 3);
-        assert!(e.on_refresh(T0).is_empty());
+        assert!(e.refresh_detections(T0).is_empty());
         e.reset();
         assert_eq!(e.name(), "PARA");
     }

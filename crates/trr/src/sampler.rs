@@ -83,12 +83,12 @@ impl SamplerTrrConfig {
 /// # Example
 ///
 /// ```
-/// use dram_sim::{MitigationEngine, Bank, PhysRow, Nanos};
+/// use dram_sim::{MitigationEngine, MitigationEngineExt, Bank, PhysRow, Nanos};
 /// use trr::SamplerTrr;
 ///
 /// let mut e = SamplerTrr::b_trr1(16, 7);
 /// e.on_activations(Bank::new(3), PhysRow::new(42), 2_000, Nanos::ZERO);
-/// let det: Vec<_> = (0..4).flat_map(|_| e.on_refresh(Nanos::ZERO)).collect();
+/// let det: Vec<_> = (0..4).flat_map(|_| e.refresh_detections(Nanos::ZERO)).collect();
 /// assert_eq!(det[0].aggressor, PhysRow::new(42));
 /// ```
 pub struct SamplerTrr {
@@ -213,24 +213,24 @@ impl MitigationEngine for SamplerTrr {
         }
     }
 
-    fn on_refresh(&mut self, _now: Nanos) -> Vec<TrrDetection> {
+    fn on_refresh(&mut self, _now: Nanos, out: &mut Vec<TrrDetection>) {
         self.ref_count += 1;
         if !self.ref_count.is_multiple_of(self.config.trr_ref_interval) {
-            return Vec::new();
+            return;
         }
         // Observation B5: the register is *not* cleared by the refresh.
-        let detections: Vec<TrrDetection> = self
-            .registers
-            .iter()
-            .flatten()
-            .map(|&(bank, aggressor)| TrrDetection { bank, aggressor, span: self.config.span })
-            .collect();
-        if !detections.is_empty() {
+        let before = out.len();
+        out.extend(self.registers.iter().flatten().map(|&(bank, aggressor)| TrrDetection {
+            bank,
+            aggressor,
+            span: self.config.span,
+        }));
+        let detected = (out.len() - before) as u64;
+        if detected > 0 {
             if let Some(c) = &self.det_ctr {
-                c.add(detections.len() as u64);
+                c.add(detected);
             }
         }
-        detections
     }
 
     fn attach_metrics(&mut self, registry: &std::sync::Arc<obs::MetricsRegistry>) {
@@ -254,6 +254,7 @@ impl MitigationEngine for SamplerTrr {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dram_sim::MitigationEngineExt;
 
     const T0: Nanos = Nanos::ZERO;
 
@@ -287,7 +288,7 @@ mod tests {
         let mut e = SamplerTrr::b_trr1(16, 3);
         e.on_activations(Bank::new(0), PhysRow::new(9), 2_000, T0);
         for i in 1..=12u64 {
-            let det = e.on_refresh(T0);
+            let det = e.refresh_detections(T0);
             assert_eq!(!det.is_empty(), i % 4 == 0, "REF {i}");
         }
     }
@@ -296,8 +297,8 @@ mod tests {
     fn register_not_cleared_by_trr_refresh() {
         let mut e = SamplerTrr::b_trr1(16, 3);
         e.on_activations(Bank::new(0), PhysRow::new(9), 2_000, T0);
-        let first: Vec<_> = (0..4).flat_map(|_| e.on_refresh(T0)).collect();
-        let second: Vec<_> = (0..4).flat_map(|_| e.on_refresh(T0)).collect();
+        let first: Vec<_> = (0..4).flat_map(|_| e.refresh_detections(T0)).collect();
+        let second: Vec<_> = (0..4).flat_map(|_| e.refresh_detections(T0)).collect();
         assert_eq!(first, second, "Obs B5: same row keeps being detected");
     }
 
@@ -306,7 +307,7 @@ mod tests {
         let mut e = SamplerTrr::b_trr1(16, 3);
         e.on_activations(Bank::new(0), PhysRow::new(9), 5_000, T0);
         e.on_activations(Bank::new(0), PhysRow::new(11), 3_000, T0);
-        let det: Vec<_> = (0..4).flat_map(|_| e.on_refresh(T0)).collect();
+        let det: Vec<_> = (0..4).flat_map(|_| e.refresh_detections(T0)).collect();
         assert_eq!(det.len(), 1, "sampling capacity is one row (Obs B4)");
         assert_eq!(det[0].aggressor, PhysRow::new(11), "last sampled row wins");
     }
@@ -316,7 +317,7 @@ mod tests {
         let mut e = SamplerTrr::b_trr1(16, 3);
         e.on_activations(Bank::new(0), PhysRow::new(9), 5_000, T0);
         e.on_activations(Bank::new(7), PhysRow::new(500), 5_000, T0);
-        let det: Vec<_> = (0..4).flat_map(|_| e.on_refresh(T0)).collect();
+        let det: Vec<_> = (0..4).flat_map(|_| e.refresh_detections(T0)).collect();
         assert_eq!(det.len(), 1);
         assert_eq!(det[0].bank, Bank::new(7), "Obs B4: one register shared across banks");
     }
@@ -326,7 +327,7 @@ mod tests {
         let mut e = SamplerTrr::b_trr3(16, 3);
         e.on_activations(Bank::new(0), PhysRow::new(9), 5_000, T0);
         e.on_activations(Bank::new(7), PhysRow::new(500), 5_000, T0);
-        let det: Vec<_> = (0..2).flat_map(|_| e.on_refresh(T0)).collect();
+        let det: Vec<_> = (0..2).flat_map(|_| e.refresh_detections(T0)).collect();
         assert_eq!(det.len(), 2, "B_TRR3 samples independently per bank");
     }
 
@@ -380,10 +381,10 @@ mod tests {
     fn reset_restores_power_on_state() {
         let mut e = SamplerTrr::b_trr1(16, 3);
         e.on_activations(Bank::new(0), PhysRow::new(9), 5_000, T0);
-        e.on_refresh(T0);
+        e.refresh_detections(T0);
         e.reset();
         assert!(e.sampled()[0].is_none());
-        let det: Vec<_> = (0..8).flat_map(|_| e.on_refresh(T0)).collect();
+        let det: Vec<_> = (0..8).flat_map(|_| e.refresh_detections(T0)).collect();
         assert!(det.is_empty());
     }
 }

@@ -92,12 +92,12 @@ struct BankWindow {
 /// # Example
 ///
 /// ```
-/// use dram_sim::{MitigationEngine, Bank, PhysRow, Nanos};
+/// use dram_sim::{MitigationEngine, MitigationEngineExt, Bank, PhysRow, Nanos};
 /// use trr::WindowTrr;
 ///
 /// let mut e = WindowTrr::c_trr2(8, 11);
 /// e.on_activations(Bank::new(0), PhysRow::new(77), 2_048, Nanos::ZERO);
-/// let det: Vec<_> = (0..9).flat_map(|_| e.on_refresh(Nanos::ZERO)).collect();
+/// let det: Vec<_> = (0..9).flat_map(|_| e.refresh_detections(Nanos::ZERO)).collect();
 /// assert_eq!(det[0].aggressor, PhysRow::new(77));
 /// ```
 pub struct WindowTrr {
@@ -224,13 +224,13 @@ impl MitigationEngine for WindowTrr {
         }
     }
 
-    fn on_refresh(&mut self, _now: Nanos) -> Vec<TrrDetection> {
+    fn on_refresh(&mut self, _now: Nanos, out: &mut Vec<TrrDetection>) {
         self.ref_count += 1;
         let armed = self.ref_count.is_multiple_of(self.config.trr_ref_interval);
         let span = self.config.span;
         let capture_prob = self.config.capture_prob;
         let window = self.config.window;
-        let mut detections = Vec::new();
+        let before = out.len();
         for (idx, w) in self.banks.iter_mut().enumerate() {
             if armed {
                 w.pending = true;
@@ -240,11 +240,7 @@ impl MitigationEngine for WindowTrr {
             }
             match w.candidate {
                 Some(row) => {
-                    detections.push(TrrDetection {
-                        bank: Bank::new(idx as u8),
-                        aggressor: row,
-                        span,
-                    });
+                    out.push(TrrDetection { bank: Bank::new(idx as u8), aggressor: row, span });
                     // The TRR-induced refresh closes this bank's window.
                     w.pending = false;
                     w.candidate = None;
@@ -260,12 +256,12 @@ impl MitigationEngine for WindowTrr {
                 None => {}
             }
         }
-        if !detections.is_empty() {
+        let detected = (out.len() - before) as u64;
+        if detected > 0 {
             if let Some(c) = &self.det_ctr {
-                c.add(detections.len() as u64);
+                c.add(detected);
             }
         }
-        detections
     }
 
     fn attach_metrics(&mut self, registry: &std::sync::Arc<obs::MetricsRegistry>) {
@@ -292,6 +288,7 @@ impl MitigationEngine for WindowTrr {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dram_sim::MitigationEngineExt;
 
     const B0: Bank = Bank::new(0);
     const T0: Nanos = Nanos::ZERO;
@@ -301,7 +298,7 @@ mod tests {
         let mut e = WindowTrr::c_trr1(1, 5);
         e.on_activations(B0, PhysRow::new(3), 2_048, T0);
         for i in 1..=17u64 {
-            let det = e.on_refresh(T0);
+            let det = e.refresh_detections(T0);
             assert_eq!(!det.is_empty(), i % 17 == 0, "REF {i}");
         }
     }
@@ -311,12 +308,12 @@ mod tests {
         let mut e = WindowTrr::c_trr1(1, 5);
         // Arm the TRR slot with no activations at all.
         for _ in 0..17 {
-            assert!(e.on_refresh(T0).is_empty());
+            assert!(e.refresh_detections(T0).is_empty());
         }
         // Now activate enough to guarantee a capture: the next REF fires
         // immediately even though it is not the 17th.
         e.on_activations(B0, PhysRow::new(3), 2_048, T0);
-        let det = e.on_refresh(T0);
+        let det = e.refresh_detections(T0);
         assert_eq!(det.len(), 1, "deferred TRR fires at the next REF (Obs C1)");
         assert_eq!(det[0].aggressor, PhysRow::new(3));
     }
@@ -356,11 +353,11 @@ mod tests {
     fn window_resets_after_trr_refresh() {
         let mut e = WindowTrr::c_trr1(1, 5);
         e.on_activations(B0, PhysRow::new(3), 2_048, T0);
-        let det: Vec<_> = (0..17).flat_map(|_| e.on_refresh(T0)).collect();
+        let det: Vec<_> = (0..17).flat_map(|_| e.refresh_detections(T0)).collect();
         assert_eq!(det.len(), 1);
         // A fresh window: a new early row becomes the likely candidate.
         e.on_activations(B0, PhysRow::new(44), 2_048, T0);
-        let det: Vec<_> = (0..17).flat_map(|_| e.on_refresh(T0)).collect();
+        let det: Vec<_> = (0..17).flat_map(|_| e.refresh_detections(T0)).collect();
         assert_eq!(det.len(), 1);
         assert_eq!(det[0].aggressor, PhysRow::new(44));
     }
@@ -370,7 +367,7 @@ mod tests {
         let mut e = WindowTrr::c_trr2(2, 5);
         e.on_activations(Bank::new(0), PhysRow::new(3), 2_048, T0);
         e.on_activations(Bank::new(1), PhysRow::new(7), 2_048, T0);
-        let det: Vec<_> = (0..9).flat_map(|_| e.on_refresh(T0)).collect();
+        let det: Vec<_> = (0..9).flat_map(|_| e.refresh_detections(T0)).collect();
         assert_eq!(det.len(), 2);
         let rows: Vec<u32> = det.iter().map(|d| d.aggressor.index()).collect();
         assert!(rows.contains(&3) && rows.contains(&7));
@@ -407,7 +404,7 @@ mod tests {
         let mut detected = false;
         for _ in 0..20_000 {
             e.on_activations(B0, PhysRow::new(9), 4, T0);
-            if !e.on_refresh(T0).is_empty() {
+            if !e.refresh_detections(T0).is_empty() {
                 detected = true;
                 break;
             }
@@ -419,7 +416,7 @@ mod tests {
     fn reset_is_deterministic() {
         let mut a = WindowTrr::c_trr1(4, 9);
         a.on_activations(B0, PhysRow::new(3), 2_048, T0);
-        a.on_refresh(T0);
+        a.refresh_detections(T0);
         a.reset();
         let b = WindowTrr::c_trr1(4, 9);
         assert_eq!(a.candidates(), b.candidates());

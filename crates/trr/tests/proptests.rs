@@ -4,7 +4,7 @@
 //! engines, under arbitrary interleavings of rows, counts, and
 //! refreshes.
 
-use dram_sim::{Bank, MitigationEngine, Nanos, PhysRow};
+use dram_sim::{Bank, MitigationEngine, MitigationEngineExt, Nanos, PhysRow};
 use proptest::prelude::*;
 use trr::{CounterTrr, CounterTrrConfig, WindowTrr, WindowTrrConfig};
 
@@ -57,7 +57,7 @@ fn drive(engine: &mut dyn MitigationEngine, steps: &[Step], batched: bool) -> Ve
                 }
             }
             Step::Refresh => {
-                for d in engine.on_refresh(T0) {
+                for d in engine.refresh_detections(T0) {
                     detections.push((d.bank.index(), d.aggressor.index()));
                 }
             }
@@ -114,7 +114,7 @@ proptest! {
         prop_assert!(engine.table(Bank::new(1)).len() <= 16);
         engine.reset();
         prop_assert!(engine.table(Bank::new(0)).is_empty());
-        let idle: Vec<_> = (0..32).flat_map(|_| engine.on_refresh(T0)).collect();
+        let idle: Vec<_> = (0..32).flat_map(|_| engine.refresh_detections(T0)).collect();
         prop_assert!(idle.is_empty());
     }
 }
