@@ -40,6 +40,13 @@ pub struct EvalConfig {
     /// on internally built modules still land in one run artifact.
     /// `None` leaves the module's private registry in place.
     pub registry: Option<Arc<MetricsRegistry>>,
+    /// Fault profile installed into the sweep's controller.
+    /// [`faults::FaultProfile::None`] installs nothing at all, keeping
+    /// the sweep bit-identical to a build without the fault layer.
+    pub fault_profile: faults::FaultProfile,
+    /// Seed for the deterministic fault plan (ignored under
+    /// [`faults::FaultProfile::None`]).
+    pub fault_seed: u64,
 }
 
 // The registry is plumbing, not an evaluation parameter: two configs
@@ -53,6 +60,8 @@ impl PartialEq for EvalConfig {
             && self.sample_count == other.sample_count
             && self.scaled_rows == other.scaled_rows
             && self.seed == other.seed
+            && self.fault_profile == other.fault_profile
+            && self.fault_seed == other.fault_seed
     }
 }
 
@@ -68,6 +77,8 @@ impl EvalConfig {
             scaled_rows: Some(2_048),
             seed: 77,
             registry: None,
+            fault_profile: faults::FaultProfile::None,
+            fault_seed: 0,
         }
     }
 
@@ -187,6 +198,10 @@ pub fn evaluate_position(
         mc.module_mut().refresh();
         let elapsed = mc.now() - started;
         mc.module_mut().advance(timings.t_refi.saturating_sub(elapsed));
+        // The interval loop drives the module directly for timing
+        // control, so the environment (drift, VRT bursts) must be
+        // ticked explicitly; a no-op without a fault injector.
+        mc.tick_environment();
     }
 
     let readout = mc.read_row(config.bank, target.victim).expect("victim address is in range");
@@ -225,6 +240,7 @@ pub fn sweep_bank_module(
         module.attach_registry(Arc::clone(registry));
     }
     let mut mc = MemoryController::new(module);
+    faults::install(&mut mc, config.fault_profile, config.fault_seed);
     let positions: Vec<PhysRow> = if config.positions.is_empty() {
         sample_positions(mc.module().geometry().rows_per_bank, config.sample_count)
     } else {
@@ -308,6 +324,25 @@ mod tests {
         assert_eq!(sweep.max_flips_per_row(), max);
         assert!(sweep.max_flips_per_dataword() >= 1);
         assert!(sweep.max_flips_per_row_per_hammer() > 0.0);
+    }
+
+    #[test]
+    fn fault_profile_flows_into_the_sweep() {
+        let registry = obs::MetricsRegistry::shared();
+        let config = EvalConfig {
+            sample_count: 4,
+            registry: Some(Arc::clone(&registry)),
+            fault_profile: faults::FaultProfile::Hostile,
+            fault_seed: 3,
+            ..EvalConfig::quick(4)
+        };
+        let module = Module::new(ModuleConfig::small_test(), 9);
+        let sweep = sweep_bank_module(module, &DoubleSided::max_rate(), &config);
+        assert_eq!(sweep.results.len(), 4);
+        assert!(
+            registry.counter(faults::CTR_INJECTED_TOTAL).get() > 0,
+            "a hostile sweep must inject faults"
+        );
     }
 
     #[test]

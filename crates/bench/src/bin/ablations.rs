@@ -3,7 +3,9 @@
 //! and shows how a paper-relevant observable changes — evidence that the
 //! mechanism is load-bearing rather than decorative.
 //!
-//! Usage: ablations [--rows N] [--samples N] [--threads N] [--metrics-out PATH]
+//! Usage: ablations [--rows N] [--samples N] [--threads N]
+//!                  [--faults none|mild|hostile] [--fault-seed N]
+//!                  [--metrics-out PATH]
 
 use std::sync::Arc;
 
@@ -11,17 +13,25 @@ use attacks::baseline::DoubleSided;
 use attacks::custom::VendorAPattern;
 use attacks::eval::{sweep_bank_module, EvalConfig};
 use dram_sim::{Bank, DataPattern, Module, RowAddr};
+use faults::FaultProfile;
 use obs::MetricsRegistry;
 use utrr_bench::{
-    arg_value, emit_metrics, metrics_out_path, par_config, run_registry, threads_arg,
+    arg_value, emit_metrics, fault_args, metrics_out_path, par_config, run_registry, threads_arg,
 };
 use utrr_modules::by_id;
 
-fn config(samples: u32, rows: u32, registry: &Arc<MetricsRegistry>) -> EvalConfig {
+fn config(
+    samples: u32,
+    rows: u32,
+    registry: &Arc<MetricsRegistry>,
+    faults: (FaultProfile, u64),
+) -> EvalConfig {
     EvalConfig {
         sample_count: samples,
         scaled_rows: Some(rows),
         registry: Some(Arc::clone(registry)),
+        fault_profile: faults.0,
+        fault_seed: faults.1,
         ..EvalConfig::quick(samples)
     }
 }
@@ -101,9 +111,10 @@ fn ablate_dummy_pressure(
     rows: u32,
     registry: &Arc<MetricsRegistry>,
     pool: &par::ParConfig,
+    faults: (FaultProfile, u64),
 ) {
     println!("## Ablation: dummy-row pressure in the vendor-A custom pattern (Fig. 8 trade-off)");
-    let cfg = config(samples, rows, registry);
+    let cfg = config(samples, rows, registry, faults);
     let variants = [
         ("paper optimum (24 hammers + 16 dummies)", VendorAPattern::paper_optimum()),
         (
@@ -141,9 +152,10 @@ fn ablate_trr_presence(
     rows: u32,
     registry: &Arc<MetricsRegistry>,
     pool: &par::ParConfig,
+    faults: (FaultProfile, u64),
 ) {
     println!("## Ablation: TRR presence (footnote 18 baseline contrast)");
-    let cfg = config(samples, rows, registry);
+    let cfg = config(samples, rows, registry, faults);
     let pattern = DoubleSided::max_rate();
     // Both arms build their own module inside the task (the engine is
     // not Send), so the two sweeps run concurrently.
@@ -171,14 +183,19 @@ fn main() {
     let rows: u32 = arg_value(&args, "--rows").and_then(|v| v.parse().ok()).unwrap_or(2_048);
     let samples: u32 = arg_value(&args, "--samples").and_then(|v| v.parse().ok()).unwrap_or(24);
     let metrics_path = metrics_out_path(&args);
+    let faults = fault_args(&args);
     let registry = run_registry();
     let pool = par_config(threads_arg(&args), &registry);
     let spec = by_id("A5").expect("catalog contains A5");
-    println!("# Simulator design-choice ablations (module A5 unless noted)\n");
+    println!("# Simulator design-choice ablations (module A5 unless noted)");
+    if faults.0 != FaultProfile::None {
+        println!("# fault injection: {} profile, seed {}", faults.0, faults.1);
+    }
+    println!();
     ablate_same_row_discount(&spec, rows);
     ablate_blast_radius(&spec, rows);
-    ablate_dummy_pressure(&spec, samples, rows, &registry, &pool);
-    ablate_trr_presence(&spec, samples, rows, &registry, &pool);
+    ablate_dummy_pressure(&spec, samples, rows, &registry, &pool, faults);
+    ablate_trr_presence(&spec, samples, rows, &registry, &pool, faults);
 
     emit_metrics(&registry, metrics_path.as_deref()).expect("metrics artifact is writable");
 }

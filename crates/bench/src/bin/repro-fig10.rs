@@ -5,13 +5,15 @@
 //!
 //! Usage: repro-fig10 [--rows N] [--samples N] [--windows N]
 //!                    [--modules A5,...] [--ecc] [--threads N]
+//!                    [--faults none|mild|hostile] [--fault-seed N]
 //!                    [--metrics-out PATH]
 
 use attacks::eval::EvalConfig;
 use ecc::{analyze_with_registry, CodeKind};
+use faults::FaultProfile;
 use utrr_bench::{
-    arg_flag, arg_value, attack_columns_par, emit_metrics, metrics_out_path, par_config,
-    run_registry, threads_arg,
+    arg_flag, arg_value, attack_columns_par, emit_metrics, fault_args, metrics_out_path,
+    par_config, run_registry, threads_arg,
 };
 use utrr_modules::{catalog, ModuleSpec};
 
@@ -23,6 +25,7 @@ fn main() {
     let filter = arg_value(&args, "--modules");
     let run_ecc = arg_flag(&args, "--ecc");
     let metrics_path = metrics_out_path(&args);
+    let (fault_profile, fault_seed) = fault_args(&args);
     let registry = run_registry();
     let pool = par_config(threads_arg(&args), &registry);
     let config = EvalConfig {
@@ -30,6 +33,8 @@ fn main() {
         windows,
         scaled_rows: Some(rows),
         registry: Some(std::sync::Arc::clone(&registry)),
+        fault_profile,
+        fault_seed,
         ..EvalConfig::quick(samples)
     };
 
@@ -37,6 +42,9 @@ fn main() {
     println!(
         "# ({samples} sampled victim rows per bank, {rows} rows/bank, {windows} refresh windows)"
     );
+    if fault_profile != FaultProfile::None {
+        println!("# fault injection: {fault_profile} profile, seed {fault_seed}");
+    }
     println!();
 
     let modules: Vec<ModuleSpec> = catalog()

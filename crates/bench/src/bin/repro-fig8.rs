@@ -6,12 +6,14 @@
 //! min..max, `=` spans the inter-quartile range, `#` marks the median.
 //!
 //! Usage: repro-fig8 [--rows N] [--samples N] [--windows N] [--threads N]
+//!                   [--faults none|mild|hostile] [--fault-seed N]
 //!                   [--metrics-out PATH]
 
 use attacks::eval::EvalConfig;
+use faults::FaultProfile;
 use utrr_bench::{
-    arg_value, boxplot_line, emit_metrics, fig8_sweep_par, metrics_out_path, par_config,
-    run_registry, threads_arg,
+    arg_value, boxplot_line, emit_metrics, fault_args, fig8_sweep_par, metrics_out_path,
+    par_config, run_registry, threads_arg,
 };
 use utrr_modules::fig8_modules;
 
@@ -21,6 +23,7 @@ fn main() {
     let samples: u32 = arg_value(&args, "--samples").and_then(|v| v.parse().ok()).unwrap_or(32);
     let windows: u32 = arg_value(&args, "--windows").and_then(|v| v.parse().ok()).unwrap_or(2);
     let metrics_path = metrics_out_path(&args);
+    let (fault_profile, fault_seed) = fault_args(&args);
     let registry = run_registry();
     let pool = par_config(threads_arg(&args), &registry);
     let config = EvalConfig {
@@ -28,11 +31,16 @@ fn main() {
         windows,
         scaled_rows: Some(rows),
         registry: Some(std::sync::Arc::clone(&registry)),
+        fault_profile,
+        fault_seed,
         ..EvalConfig::quick(samples)
     };
 
     println!("# Fig. 8 reproduction — flips per row vs hammers per aggressor per REF");
     println!("# ({samples} victim rows per point, {rows} rows/bank, {windows} refresh windows)");
+    if fault_profile != FaultProfile::None {
+        println!("# fault injection: {fault_profile} profile, seed {fault_seed}");
+    }
 
     for spec in fig8_modules() {
         // Sweep the same region the paper shows: a handful of points

@@ -3,12 +3,14 @@
 //! custom access pattern, for all 45 modules.
 //!
 //! Usage: repro-fig9 [--rows N] [--samples N] [--windows N] [--modules A5,...]
-//!                   [--threads N] [--metrics-out PATH]
+//!                   [--threads N] [--faults none|mild|hostile] [--fault-seed N]
+//!                   [--metrics-out PATH]
 
 use attacks::eval::EvalConfig;
+use faults::FaultProfile;
 use utrr_bench::{
-    arg_value, attack_columns_par, emit_metrics, metrics_out_path, par_config, run_registry,
-    threads_arg,
+    arg_value, attack_columns_par, emit_metrics, fault_args, metrics_out_path, par_config,
+    run_registry, threads_arg,
 };
 use utrr_modules::{catalog, ModuleSpec};
 
@@ -19,6 +21,7 @@ fn main() {
     let windows: u32 = arg_value(&args, "--windows").and_then(|v| v.parse().ok()).unwrap_or(2);
     let filter = arg_value(&args, "--modules");
     let metrics_path = metrics_out_path(&args);
+    let (fault_profile, fault_seed) = fault_args(&args);
     let registry = run_registry();
     let pool = par_config(threads_arg(&args), &registry);
     let config = EvalConfig {
@@ -26,11 +29,16 @@ fn main() {
         windows,
         scaled_rows: Some(rows),
         registry: Some(std::sync::Arc::clone(&registry)),
+        fault_profile,
+        fault_seed,
         ..EvalConfig::quick(samples)
     };
 
     println!("# Fig. 9 reproduction — % vulnerable DRAM rows per module");
     println!("# ({samples} sampled victim positions per bank, {rows} rows/bank, {windows} refresh windows)");
+    if fault_profile != FaultProfile::None {
+        println!("# fault injection: {fault_profile} profile, seed {fault_seed}");
+    }
     println!();
     println!("  module  version    measured   paper        0%        50%       100%");
 

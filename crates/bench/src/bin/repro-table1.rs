@@ -6,6 +6,7 @@
 //! Usage:
 //!   repro-table1 [--rows N] [--samples N] [--windows N] [--modules A5,B0,...]
 //!                [--per-module-re] [--attack-only] [--threads N]
+//!                [--faults none|mild|hostile] [--fault-seed N]
 //!                [--metrics-out PATH] [--bench-out PATH]
 //!
 //! By default the reverse-engineering suite runs once per *TRR version*
@@ -24,10 +25,11 @@
 use std::collections::HashMap;
 
 use attacks::eval::{BankSweep, EvalConfig};
+use faults::FaultProfile;
 use utrr_bench::{
-    arg_flag, arg_value, attack_columns, device_ns_per_act, emit_metrics, measure_hc_first_with,
-    metrics_out_path, par_config, re_input_key, reverse_engineer_module_with, run_registry,
-    threads_arg, BenchPhases, ReOutcome,
+    arg_flag, arg_value, attack_columns, device_ns_per_act, emit_metrics, fault_args,
+    measure_hc_first_faulty, metrics_out_path, par_config, re_input_key,
+    reverse_engineer_module_faulty, run_registry, threads_arg, BenchPhases, ReOutcome,
 };
 use utrr_core::reverse::DetectionKind;
 use utrr_modules::{catalog, ModuleSpec};
@@ -58,6 +60,7 @@ fn main() {
     let attack_only = arg_flag(&args, "--attack-only");
     let metrics_path = metrics_out_path(&args);
     let bench_path = arg_value(&args, "--bench-out").map(std::path::PathBuf::from);
+    let (fault_profile, fault_seed) = fault_args(&args);
     let threads = threads_arg(&args);
     let registry = run_registry();
     let pool = par_config(threads, &registry);
@@ -72,6 +75,9 @@ fn main() {
         .collect();
 
     println!("# Table 1 reproduction — {} modules, {rows} rows/bank (scaled), {samples} victim samples, {windows} refresh windows", modules.len());
+    if fault_profile != FaultProfile::None {
+        println!("# fault injection: {fault_profile} profile, seed {fault_seed}");
+    }
     println!();
     println!("## Reverse-engineering columns (U-TRR findings vs planted ground truth)");
     println!();
@@ -102,7 +108,14 @@ fn main() {
         }
         let outcomes: Vec<ReOutcome> = bench.time("reverse_engineering", || {
             par::par_map(&pool, &unique, |(_, spec)| {
-                reverse_engineer_module_with(spec, rows, 7, Some(&registry))
+                reverse_engineer_module_faulty(
+                    spec,
+                    rows,
+                    7,
+                    Some(&registry),
+                    fault_profile,
+                    fault_seed,
+                )
             })
         });
         let re_cache: HashMap<&str, &ReOutcome> = unique
@@ -143,6 +156,8 @@ fn main() {
         windows,
         scaled_rows: Some(rows),
         registry: Some(std::sync::Arc::clone(&registry)),
+        fault_profile,
+        fault_seed,
         ..EvalConfig::quick(samples)
     };
     // One task per module: each measures HC_first and runs the attack
@@ -150,7 +165,15 @@ fn main() {
     // in catalog order.
     let results: Vec<(u64, BankSweep)> = bench.time("attack_columns", || {
         par::par_map(&pool, &modules, |spec| {
-            let hc = measure_hc_first_with(spec, rows.min(2_048), 48, 11, Some(&registry));
+            let hc = measure_hc_first_faulty(
+                spec,
+                rows.min(2_048),
+                48,
+                11,
+                Some(&registry),
+                fault_profile,
+                fault_seed,
+            );
             let sweep = attack_columns(spec, &config);
             (hc, sweep)
         })

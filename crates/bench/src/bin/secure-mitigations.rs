@@ -8,15 +8,17 @@
 //! full-budget double-sided hammering.
 //!
 //! Usage: secure-mitigations [--rows N] [--samples N] [--para-prob P]
-//!                           [--threads N] [--metrics-out PATH]
+//!                           [--threads N] [--faults none|mild|hostile]
+//!                           [--fault-seed N] [--metrics-out PATH]
 
 use attacks::baseline::DoubleSided;
 use attacks::custom;
 use attacks::eval::{sweep_bank_module, BankSweep, EvalConfig};
 use dram_sim::{MitigationEngine, Module};
+use faults::FaultProfile;
 use trr::{Graphene, GrapheneConfig, Para};
 use utrr_bench::{
-    arg_value, emit_metrics, metrics_out_path, par_config, run_registry, threads_arg,
+    arg_value, emit_metrics, fault_args, metrics_out_path, par_config, run_registry, threads_arg,
 };
 use utrr_modules::{by_id, ModuleSpec};
 
@@ -62,17 +64,23 @@ fn main() {
     let para_prob: f64 =
         arg_value(&args, "--para-prob").and_then(|v| v.parse().ok()).unwrap_or(0.001);
     let metrics_path = metrics_out_path(&args);
+    let (fault_profile, fault_seed) = fault_args(&args);
     let registry = run_registry();
     let pool = par_config(threads_arg(&args), &registry);
     let config = EvalConfig {
         sample_count: samples,
         scaled_rows: Some(rows),
         registry: Some(std::sync::Arc::clone(&registry)),
+        fault_profile,
+        fault_seed,
         ..EvalConfig::quick(samples)
     };
 
     println!("# Secure-mitigation evaluation — custom patterns vs PARA/Graphene");
     println!("# ({samples} victim samples, {rows} rows/bank, PARA p = {para_prob})");
+    if fault_profile != FaultProfile::None {
+        println!("# fault injection: {fault_profile} profile, seed {fault_seed}");
+    }
     println!();
     println!(
         "{:<8} {:<18} {:<22} {:>11} {:>14}",

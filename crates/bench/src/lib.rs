@@ -14,6 +14,7 @@
 use attacks::custom;
 use attacks::eval::{sweep_bank, BankSweep, EvalConfig};
 use dram_sim::{Bank, Module, ModuleConfig, Nanos, RowAddr};
+use faults::FaultProfile;
 use softmc::MemoryController;
 use utrr_core::reverse::{self, DetectionKind, ReverseOptions, TrrProfile};
 use utrr_core::schedule::{learn_group_schedules, learn_refresh_schedule};
@@ -89,11 +90,34 @@ pub fn reverse_engineer_module_with(
     seed: u64,
     registry: Option<&std::sync::Arc<obs::MetricsRegistry>>,
 ) -> ReOutcome {
+    reverse_engineer_module_faulty(spec, rows, seed, registry, FaultProfile::None, 0)
+}
+
+/// [`reverse_engineer_module_with`] against a faulty substrate: installs
+/// the deterministic fault plan for `(fault_profile, fault_seed)` into
+/// the controller before the suite runs. Under [`FaultProfile::None`]
+/// nothing is installed and the run is bit-identical to
+/// [`reverse_engineer_module_with`].
+///
+/// # Panics
+///
+/// Panics when Row Scout cannot find the required row groups — expected
+/// under [`FaultProfile::Hostile`], where only graceful degradation (not
+/// correctness) is promised.
+pub fn reverse_engineer_module_faulty(
+    spec: &ModuleSpec,
+    rows: u32,
+    seed: u64,
+    registry: Option<&std::sync::Arc<obs::MetricsRegistry>>,
+    fault_profile: FaultProfile,
+    fault_seed: u64,
+) -> ReOutcome {
     let mut module = spec.build_scaled(rows, seed);
     if let Some(registry) = registry {
         module.attach_registry(std::sync::Arc::clone(registry));
     }
     let mut mc = MemoryController::new(module);
+    faults::install(&mut mc, fault_profile, fault_seed);
     let bank = Bank::new(0);
     let pair_layout = RowGroupLayout::single_aggressor_pair();
     // 18 pair groups give the counter-capacity sweep room up to 17.
@@ -175,11 +199,31 @@ pub fn measure_hc_first_with(
     seed: u64,
     registry: Option<&std::sync::Arc<obs::MetricsRegistry>>,
 ) -> u64 {
+    measure_hc_first_faulty(spec, rows, samples, seed, registry, FaultProfile::None, 0)
+}
+
+/// [`measure_hc_first_with`] against a faulty substrate; under
+/// [`FaultProfile::None`] nothing is installed and the measurement is
+/// bit-identical to [`measure_hc_first_with`].
+///
+/// # Panics
+///
+/// Panics when the characterization cannot run on the built bank.
+pub fn measure_hc_first_faulty(
+    spec: &ModuleSpec,
+    rows: u32,
+    samples: u32,
+    seed: u64,
+    registry: Option<&std::sync::Arc<obs::MetricsRegistry>>,
+    fault_profile: FaultProfile,
+    fault_seed: u64,
+) -> u64 {
     let mut module = spec.build_scaled(rows, seed);
     if let Some(registry) = registry {
         module.attach_registry(std::sync::Arc::clone(registry));
     }
     let mut mc = MemoryController::new(module);
+    faults::install(&mut mc, fault_profile, fault_seed);
     utrr_core::measure_hc_first(&mut mc, Bank::new(0), samples, spec.hc_first * 2)
         .expect("characterization runs on an in-range bank")
 }
@@ -357,6 +401,22 @@ pub fn emit_metrics(
 /// Whether a bare `--flag` is present.
 pub fn arg_flag(args: &[String], key: &str) -> bool {
     args.iter().any(|a| a == key)
+}
+
+/// Fault-injection arguments for a run: `--faults none|mild|hostile`
+/// (default `none`, the strict no-op path) and `--fault-seed N` (default
+/// 1). Shared by every repro binary. Exits with status 2 on an
+/// unrecognised profile name.
+pub fn fault_args(args: &[String]) -> (FaultProfile, u64) {
+    let profile = match arg_value(args, "--faults") {
+        Some(name) => name.parse().unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }),
+        None => FaultProfile::None,
+    };
+    let seed = arg_value(args, "--fault-seed").and_then(|v| v.parse().ok()).unwrap_or(1);
+    (profile, seed)
 }
 
 /// Worker count for a run: the `--threads <n>` argument, with the

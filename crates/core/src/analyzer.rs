@@ -274,16 +274,29 @@ impl TrrAnalyzer {
             mc.reset_trr_state(exp.bank, &exp.reset_dummies, exp.reset_periods)?;
         }
 
-        // ① Initialize victim and aggressor rows.
-        mc.write_rows(exp.bank, &exp.victims, &exp.victim_pattern)?;
+        // ① Initialize victim and aggressor rows. Verified writes: a
+        // dropped or garbled victim init would read as a spurious bit
+        // flip at step ⑥ and be misclassified as "not refreshed".
+        // Fault-free this is exactly one write per row, as before.
+        for &victim in &exp.victims {
+            crate::robust::write_row_checked(mc, exp.bank, victim, &exp.victim_pattern)?;
+        }
         if let Some(pattern) = &exp.aggressor_pattern {
             for &(aggressor, _) in &exp.hammer.aggressors {
-                mc.write_row(exp.bank, aggressor, pattern.clone())?;
+                crate::robust::write_row_checked(mc, exp.bank, aggressor, pattern)?;
             }
         }
 
-        // Wait the first half of the retention window.
-        mc.wait_no_refresh(exp.retention / 2);
+        // Wait the first half of the retention window. On a faulty
+        // substrate each half is stretched by 5% — headroom past the
+        // injected retention-drift amplitude, so an unrefreshed victim
+        // still decays past its bucket when the environment runs a
+        // couple of percent "cold" (a clean read here must only ever
+        // mean "refreshed"). Fault-free the window is exactly the
+        // retention time, keeping the command stream unchanged.
+        let half_window =
+            if mc.faults_enabled() { exp.retention * 21 / 40 } else { exp.retention / 2 };
+        mc.wait_no_refresh(half_window);
 
         // ③④ Hammer rounds, each ending with REFs.
         let ref_start = mc.module().ref_count();
@@ -311,12 +324,14 @@ impl TrrAnalyzer {
         let active = mc.now() - active_start;
 
         // ⑤ Second half of the retention window, minus hammering time.
-        mc.wait_no_refresh((exp.retention / 2).saturating_sub(active));
+        mc.wait_no_refresh(half_window.saturating_sub(active));
 
-        // ⑥ Read back and classify.
+        // ⑥ Read back and classify (majority-voted under fault
+        // injection: a single in-flight read flip must not turn a
+        // refreshed victim into a "not refreshed" verdict).
         let mut victims = Vec::with_capacity(exp.victims.len());
         for &victim in &exp.victims {
-            let clean = mc.read_row(exp.bank, victim)?.is_clean();
+            let clean = crate::robust::read_row_voted(mc, exp.bank, victim)?.is_clean();
             let outcome = if !clean {
                 VictimOutcome::NotRefreshed
             } else {
@@ -344,11 +359,11 @@ impl TrrAnalyzer {
         exp: &Experiment,
     ) -> Result<(), UtrrError> {
         for &victim in &exp.victims {
-            mc.write_row(exp.bank, victim, exp.victim_pattern.clone())?;
+            crate::robust::write_row_checked(mc, exp.bank, victim, &exp.victim_pattern)?;
         }
         mc.hammer(exp.bank, &exp.hammer)?;
         for &victim in &exp.victims {
-            if !mc.read_row(exp.bank, victim)?.is_clean() {
+            if !crate::robust::read_row_voted(mc, exp.bank, victim)?.is_clean() {
                 let count = exp.hammer.aggressors.iter().map(|&(_, n)| n).max().unwrap_or(0);
                 return Err(UtrrError::HammerCountUnsafe { count });
             }
@@ -372,7 +387,7 @@ impl TrrAnalyzer {
         hammers: u64,
     ) -> Result<(), UtrrError> {
         for &victim in &exp.victims {
-            mc.write_row(exp.bank, victim, exp.victim_pattern.clone())?;
+            crate::robust::write_row_checked(mc, exp.bank, victim, &exp.victim_pattern)?;
         }
         let heavy = HammerSpec {
             aggressors: exp.hammer.aggressors.iter().map(|&(r, _)| (r, hammers)).collect(),
@@ -381,7 +396,7 @@ impl TrrAnalyzer {
         mc.hammer(exp.bank, &heavy)?;
         let mut any_flip = false;
         for &victim in &exp.victims {
-            if !mc.read_row(exp.bank, victim)?.is_clean() {
+            if !crate::robust::read_row_voted(mc, exp.bank, victim)?.is_clean() {
                 any_flip = true;
             }
             // Restore the victim for subsequent experiments.

@@ -33,6 +33,9 @@ pub enum UtrrError {
     /// Physical-adjacency verification failed: hammering the supposed
     /// aggressor did not flip the profiled rows (§5.3 second method).
     AdjacencyBroken,
+    /// An experiment was invoked with an empty input set (e.g. no row
+    /// groups), so there is nothing to measure.
+    EmptyInput,
 }
 
 impl fmt::Display for UtrrError {
@@ -57,6 +60,9 @@ impl fmt::Display for UtrrError {
                 "aggressor row does not disturb the profiled rows; the rows are \
                  not physically adjacent (remapped?)"
             ),
+            UtrrError::EmptyInput => {
+                write!(f, "experiment invoked with an empty input set (no row groups)")
+            }
         }
     }
 }
@@ -92,5 +98,44 @@ mod tests {
         let e: UtrrError = DramError::BankClosed { bank: Bank::new(0) }.into();
         assert!(e.to_string().contains("device error"));
         assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn every_variant_displays_its_key_fact() {
+        let cases: Vec<(UtrrError, &str)> = vec![
+            (
+                UtrrError::NotEnoughRowGroups {
+                    found: 2,
+                    needed: 5,
+                    max_retention: Nanos::from_ms(6_000),
+                },
+                "2 of 5",
+            ),
+            (UtrrError::ScheduleNotFound, "no periodic regular refresh"),
+            (UtrrError::HammerCountUnsafe { count: 9_000 }, "9000 hammers"),
+            (UtrrError::AdjacencyBroken, "not physically adjacent"),
+            (UtrrError::EmptyInput, "empty input set"),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{err:?} display {msg:?} lacks {needle:?}");
+        }
+    }
+
+    #[test]
+    fn only_device_errors_carry_a_source() {
+        let wrapped: UtrrError = DramError::BankClosed { bank: Bank::new(3) }.into();
+        assert!(
+            matches!(&wrapped, UtrrError::Dram(DramError::BankClosed { bank }) if bank.index() == 3)
+        );
+        assert!(wrapped.source().is_some());
+        for err in [
+            UtrrError::ScheduleNotFound,
+            UtrrError::AdjacencyBroken,
+            UtrrError::EmptyInput,
+            UtrrError::HammerCountUnsafe { count: 1 },
+        ] {
+            assert!(err.source().is_none(), "{err:?} must not claim a source");
+        }
     }
 }

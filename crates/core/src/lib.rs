@@ -50,6 +50,7 @@ pub mod error;
 pub mod layout;
 pub mod mapping_re;
 pub mod reverse;
+pub mod robust;
 pub mod rowscout;
 pub mod schedule;
 
@@ -61,5 +62,9 @@ pub use characterize::{compare_hammer_modes, data_pattern_sensitivity, measure_h
 pub use error::UtrrError;
 pub use layout::RowGroupLayout;
 pub use reverse::{DetectionKind, ReverseOptions, TrrProfile};
-pub use rowscout::{ProfiledRow, ProfiledRowGroup, RowScout, ScoutConfig};
-pub use schedule::{learn_refresh_schedule, RefreshSchedule};
+pub use robust::{read_row_voted, write_row_checked};
+pub use rowscout::{
+    ProfiledRow, ProfiledRowGroup, QuarantineReason, RowDiagnostics, RowScout, ScoutConfig,
+    ScoutReport,
+};
+pub use schedule::{learn_group_schedules, learn_refresh_schedule, RefreshSchedule};

@@ -127,7 +127,7 @@ pub fn discover_mapping(
             observations.push(obs);
         }
     }
-    let mut scores: Vec<usize> = candidates
+    let scores: Vec<usize> = candidates
         .iter()
         .map(|c| observations.iter().filter(|o| mapping_explains(c, rows, o)).count())
         .collect();
@@ -135,8 +135,9 @@ pub fn discover_mapping(
     if best < 2 || scores.iter().filter(|&&s| s == best).count() != 1 {
         return Ok(None);
     }
-    let winner = scores.iter().position(|&s| s == best).expect("max exists");
-    scores.clear();
+    let Some(winner) = scores.iter().position(|&s| s == best) else {
+        return Ok(None);
+    };
     Ok(Some(candidates[winner].clone()))
 }
 

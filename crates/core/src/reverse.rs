@@ -83,7 +83,9 @@ fn detection_iteration(
     hammers: &[u64],
     refs: u64,
 ) -> Result<(Vec<bool>, u64), UtrrError> {
-    let retention = groups.iter().map(|g| g.retention).min().expect("at least one group");
+    let Some(retention) = groups.iter().map(|g| g.retention).min() else {
+        return Err(UtrrError::EmptyInput);
+    };
     let victims: Vec<RowAddr> = groups.iter().flat_map(|g| g.victim_rows()).collect();
     let aggressors: Vec<(RowAddr, u64)> =
         groups.iter().zip(hammers).map(|(g, &h)| (g.aggressors[0], h)).collect();
@@ -404,11 +406,11 @@ pub fn discover_cross_bank_sharing(
     let mut hits = [0u32; 2];
     for _ in 0..opts.ratio_iterations {
         for &v in &groups[long].victim_rows() {
-            mc.write_row(banks[long], v, groups[long].pattern.clone())?;
+            crate::robust::write_row_checked(mc, banks[long], v, &groups[long].pattern)?;
         }
         mc.wait_no_refresh((t_long - t_short) / 2);
         for &v in &groups[short].victim_rows() {
-            mc.write_row(banks[short], v, groups[short].pattern.clone())?;
+            crate::robust::write_row_checked(mc, banks[short], v, &groups[short].pattern)?;
         }
         mc.wait_no_refresh(t_short / 2);
         let ref_start = mc.module().ref_count();
@@ -425,7 +427,7 @@ pub fn discover_cross_bank_sharing(
         let mut record = |mc: &mut MemoryController, i: usize| -> Result<(), UtrrError> {
             let mut trr_hit = false;
             for &v in &groups[i].victim_rows() {
-                let clean = mc.read_row(banks[i], v)?.is_clean();
+                let clean = crate::robust::read_row_voted(mc, banks[i], v)?.is_clean();
                 // Filter regular refreshes via the learned schedules,
                 // like every other experiment.
                 let regular = analyzer
@@ -471,6 +473,7 @@ pub fn discover_act_window(
     // capture cycles before concluding "never detected".
     let aggressor_hammers = 2_048u64;
     let iterations = opts.long_iterations.max(360);
+    let faulty = mc.faults_enabled();
     for &filler in probes {
         let mut exp = Experiment::on_group(bank, group)
             .with_hammer(HammerSpec::single_sided(group.aggressors[0], aggressor_hammers))
@@ -478,10 +481,31 @@ pub fn discover_act_window(
             .with_refs(1);
         exp.dummies_first = true;
         let mut detected = false;
-        for _ in 0..iterations {
-            if analyzer.run(mc, &exp)?.any_trr() {
-                detected = true;
-                break;
+        if faulty {
+            // Injected faults leave stray TRR verdicts at a rate of
+            // well under 1% of iterations (drift shifts the slot phase,
+            // VRT bursts fake a refresh), so a single detection cannot
+            // condemn a filler count. Genuine capture — a counter or
+            // sampler that still sees the aggressor through the filler
+            // — lands at ~5% of iterations; split the two regimes at
+            // 2%.
+            let threshold = (iterations / 50).max(1);
+            let mut hits = 0u32;
+            for _ in 0..iterations {
+                if analyzer.run(mc, &exp)?.any_trr() {
+                    hits += 1;
+                    if hits > threshold {
+                        detected = true;
+                        break;
+                    }
+                }
+            }
+        } else {
+            for _ in 0..iterations {
+                if analyzer.run(mc, &exp)?.any_trr() {
+                    detected = true;
+                    break;
+                }
             }
         }
         if !detected {

@@ -17,12 +17,31 @@
 //! 4. validate every row of every candidate group `consistency_checks`
 //!    times (the paper uses 1000) — VRT rows flunk;
 //! 5. return the validated groups.
+//!
+//! On top of the paper's loop, the scout is hardened against transient
+//! device faults (see the `faults` crate): reads are majority-voted and
+//! writes verified when a fault injector is active, failed validation
+//! checks get a bounded retry, rows that keep misbehaving land on a
+//! quarantine list with a recorded [`QuarantineReason`], and
+//! [`RowScout::scan_report`] returns a partial [`ScoutReport`] instead
+//! of an opaque error when the scan cannot complete. All of the extra
+//! device traffic is gated on [`MemoryController::faults_enabled`] (or
+//! the opt-in [`ScoutConfig::vrt_probe`]), so a fault-free scan issues
+//! exactly the command sequence it always did.
+
+use std::collections::BTreeMap;
 
 use dram_sim::{Bank, DataPattern, Nanos, PhysRow, RowAddr};
 use softmc::MemoryController;
 
 use crate::error::UtrrError;
 use crate::layout::RowGroupLayout;
+use crate::robust;
+
+/// Counter: validation checks retried by the scout (fault-aware mode).
+pub const CTR_SCOUT_RETRIES: &str = "utrr.rowscout.retries";
+/// Counter: rows quarantined by the scout.
+pub const CTR_SCOUT_QUARANTINED: &str = "utrr.rowscout.quarantined";
 
 /// Profiling configuration (the "Profiling Config" box of Fig. 3).
 #[derive(Debug, Clone, PartialEq)]
@@ -47,6 +66,18 @@ pub struct ScoutConfig {
     pub consistency_checks: u32,
     /// Data pattern used for profiling; TRR-A must reuse it.
     pub pattern: DataPattern,
+    /// Optional row-activation budget for the whole scan: once the
+    /// module's cumulative ACT count has grown by this much, the scan
+    /// stops early and [`RowScout::scan_report`] reports whatever was
+    /// found so far (graceful degradation instead of unbounded retries).
+    pub max_acts: Option<u64>,
+    /// Opt-in extended VRT probe: track bit-level failure signatures
+    /// across validation checks and probe each candidate group at a
+    /// ladder of longer decay horizons, quarantining rows whose
+    /// signature is unstable. Costs extra commands, so it is off by
+    /// default and a plain scan stays command-for-command identical to
+    /// previous releases.
+    pub vrt_probe: bool,
 }
 
 impl ScoutConfig {
@@ -64,6 +95,8 @@ impl ScoutConfig {
             max_retention: Nanos::from_ms(6_000),
             consistency_checks: 100,
             pattern: DataPattern::Ones,
+            max_acts: None,
+            vrt_probe: false,
         }
     }
 }
@@ -98,6 +131,120 @@ impl ProfiledRowGroup {
     /// Logical addresses of the profiled rows.
     pub fn victim_rows(&self) -> Vec<RowAddr> {
         self.rows.iter().map(|r| r.row).collect()
+    }
+}
+
+/// Why Row Scout gave up on a candidate row (mirroring the paper's VRT
+/// filtering, plus the failure modes transient device faults add).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuarantineReason {
+    /// The row read clean after the full retention interval during
+    /// validation — its failure vanished, the signature VRT flap.
+    VrtFlap,
+    /// The row failed before the 0.55 T early margin — its effective
+    /// retention drifted below the bucket.
+    RetentionDrift,
+    /// The row's contents could not be written reliably even with
+    /// verified-write retries.
+    WriteUnstable,
+    /// The row failed with a different bit set across repeated checks at
+    /// the same horizon — a VRT cell toggling inside (or probed above)
+    /// the bucket.
+    UnstableFlips,
+}
+
+impl std::fmt::Display for QuarantineReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            QuarantineReason::VrtFlap => "vrt-flap",
+            QuarantineReason::RetentionDrift => "retention-drift",
+            QuarantineReason::WriteUnstable => "write-unstable",
+            QuarantineReason::UnstableFlips => "unstable-flips",
+        })
+    }
+}
+
+/// Diagnostics for one quarantined row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowDiagnostics {
+    /// Logical address of the quarantined row.
+    pub row: RowAddr,
+    /// Physical position of the quarantined row.
+    pub phys: PhysRow,
+    /// Why the row was given up on.
+    pub reason: QuarantineReason,
+    /// Validation retries spent on the row's group before giving up.
+    pub retries: u32,
+}
+
+/// The full outcome of a scan: validated groups plus everything the
+/// scout had to give up on — a partial result with diagnostics instead
+/// of an opaque error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScoutReport {
+    /// Validated groups from the best retention pass (at most
+    /// `requested`).
+    pub groups: Vec<ProfiledRowGroup>,
+    /// Groups the configuration asked for.
+    pub requested: usize,
+    /// Rows that failed validation, with the reason, in physical-row
+    /// order (first recorded reason wins when a row fails repeatedly).
+    pub quarantined: Vec<RowDiagnostics>,
+    /// Validation checks that were retried (fault-aware mode only).
+    pub retries: u64,
+    /// Whether the [`ScoutConfig::max_acts`] budget stopped the scan.
+    pub budget_exhausted: bool,
+    /// Row activations the scan consumed.
+    pub acts_used: u64,
+}
+
+impl ScoutReport {
+    /// Whether the scan found every requested group.
+    pub fn is_complete(&self) -> bool {
+        self.groups.len() >= self.requested
+    }
+}
+
+/// Mutable bookkeeping threaded through one scan.
+struct ScanState {
+    acts_start: u64,
+    max_acts: Option<u64>,
+    budget_exhausted: bool,
+    retries: u64,
+    quarantined: BTreeMap<u32, RowDiagnostics>,
+}
+
+impl ScanState {
+    fn new(acts_start: u64, max_acts: Option<u64>) -> Self {
+        ScanState {
+            acts_start,
+            max_acts,
+            budget_exhausted: false,
+            retries: 0,
+            quarantined: BTreeMap::new(),
+        }
+    }
+
+    /// Checks (and latches) the ACT budget. Issues no device commands,
+    /// so with no budget configured the scan's traffic is untouched.
+    fn budget_spent(&mut self, mc: &MemoryController) -> bool {
+        if self.budget_exhausted {
+            return true;
+        }
+        if let Some(max) = self.max_acts {
+            if mc.module().stats().activations - self.acts_start >= max {
+                self.budget_exhausted = true;
+            }
+        }
+        self.budget_exhausted
+    }
+
+    fn note_quarantine(&mut self, diag: RowDiagnostics) {
+        self.quarantined.entry(diag.phys.index()).or_insert(diag);
+    }
+
+    fn is_quarantined(&self, phys: u32) -> bool {
+        self.quarantined.contains_key(&phys)
     }
 }
 
@@ -143,9 +290,34 @@ impl RowScout {
     ///
     /// # Errors
     ///
-    /// [`UtrrError::NotEnoughRowGroups`] if the retention ceiling is
-    /// reached first; device errors are propagated.
+    /// [`UtrrError::NotEnoughRowGroups`] if the retention ceiling (or
+    /// the configured ACT budget) is reached first; device errors are
+    /// propagated.
     pub fn scan(&self, mc: &mut MemoryController) -> Result<Vec<ProfiledRowGroup>, UtrrError> {
+        let report = self.scan_report(mc)?;
+        if report.is_complete() {
+            let mut groups = report.groups;
+            groups.truncate(self.config.group_count);
+            Ok(groups)
+        } else {
+            Err(UtrrError::NotEnoughRowGroups {
+                found: report.groups.len(),
+                needed: self.config.group_count,
+                max_retention: self.config.max_retention,
+            })
+        }
+    }
+
+    /// Runs the Fig. 6 loop and returns a [`ScoutReport`]: the groups
+    /// that validated plus quarantine diagnostics, retry counts, and
+    /// budget state — a partial result where [`RowScout::scan`] would
+    /// return an opaque error.
+    ///
+    /// # Errors
+    ///
+    /// Device errors are propagated; an incomplete scan is *not* an
+    /// error here.
+    pub fn scan_report(&self, mc: &mut MemoryController) -> Result<ScoutReport, UtrrError> {
         let registry = std::sync::Arc::clone(mc.registry());
         let span = obs::span!(
             registry,
@@ -154,19 +326,23 @@ impl RowScout {
             rows = (self.config.row_end - self.config.row_start) as u64,
             groups_wanted = self.config.group_count as u64
         );
-        let result = self.scan_inner(mc);
-        if let Ok(groups) = &result {
-            registry.counter("utrr.rowscout.groups_found").add(groups.len() as u64);
+        let result = self.scan_report_inner(mc);
+        if let Ok(report) = &result {
+            registry.counter("utrr.rowscout.groups_found").add(report.groups.len() as u64);
+            registry.counter(CTR_SCOUT_QUARANTINED).add(report.quarantined.len() as u64);
+            registry.counter(CTR_SCOUT_RETRIES).add(report.retries);
         }
         span.finish(mc.now().as_ns());
         result
     }
 
-    fn scan_inner(&self, mc: &mut MemoryController) -> Result<Vec<ProfiledRowGroup>, UtrrError> {
+    fn scan_report_inner(&self, mc: &mut MemoryController) -> Result<ScoutReport, UtrrError> {
         let cfg = &self.config;
+        let acts_start = mc.module().stats().activations;
+        let mut state = ScanState::new(acts_start, cfg.max_acts);
+        let mut best: Vec<ProfiledRowGroup> = Vec::new();
         let mut retention = cfg.initial_retention;
-        let mut best_found = 0usize;
-        while retention <= cfg.max_retention {
+        while retention <= cfg.max_retention && !state.budget_spent(mc) {
             let registry = std::sync::Arc::clone(mc.registry());
             let pass = obs::span!(
                 registry,
@@ -174,19 +350,24 @@ impl RowScout {
                 mc.now().as_ns(),
                 retention_ms = retention.as_ns() / 1_000_000
             );
-            let groups = self.scan_at(mc, retention);
+            let groups = self.scan_at(mc, retention, &mut state);
             pass.finish(mc.now().as_ns());
             let groups = groups?;
-            best_found = best_found.max(groups.len());
-            if groups.len() >= cfg.group_count {
-                return Ok(groups.into_iter().take(cfg.group_count).collect());
+            if groups.len() > best.len() {
+                best = groups;
+            }
+            if best.len() >= cfg.group_count {
+                break;
             }
             retention += cfg.retention_step;
         }
-        Err(UtrrError::NotEnoughRowGroups {
-            found: best_found,
-            needed: cfg.group_count,
-            max_retention: cfg.max_retention,
+        Ok(ScoutReport {
+            groups: best,
+            requested: cfg.group_count,
+            quarantined: state.quarantined.into_values().collect(),
+            retries: state.retries,
+            budget_exhausted: state.budget_exhausted,
+            acts_used: mc.module().stats().activations - acts_start,
         })
     }
 
@@ -196,6 +377,7 @@ impl RowScout {
         &self,
         mc: &mut MemoryController,
         retention: Nanos,
+        state: &mut ScanState,
     ) -> Result<Vec<ProfiledRowGroup>, UtrrError> {
         let cfg = &self.config;
         // Rows failing within T…
@@ -206,23 +388,35 @@ impl RowScout {
         let bucket: Vec<bool> =
             fail_at_t.iter().zip(&fail_early).map(|(&late, &early)| late && !early).collect();
 
+        // Skipping known-bad rows changes which candidates get probed,
+        // so it only kicks in under fault injection or the opt-in VRT
+        // probe — a plain scan's command stream stays untouched.
+        let skip_quarantined = mc.faults_enabled() || cfg.vrt_probe;
         let mut groups = Vec::new();
         let mut base = cfg.row_start;
         let span = cfg.layout.span();
         while base + span <= cfg.row_end && groups.len() < cfg.group_count {
+            if state.budget_spent(mc) {
+                break;
+            }
             let in_bucket = cfg
                 .layout
                 .profiled()
                 .iter()
                 .all(|&off| bucket[(base + off - cfg.row_start) as usize]);
-            if in_bucket {
+            let quarantined = skip_quarantined
+                && cfg.layout.profiled().iter().any(|&off| state.is_quarantined(base + off));
+            if in_bucket && !quarantined {
                 let group = self.assemble_group(mc, base, retention);
-                if self.validate_group(mc, &group)? {
-                    // Skip past this group (plus a guard row) so groups
-                    // never overlap.
-                    base += span + 1;
-                    groups.push(group);
-                    continue;
+                match self.validate_group(mc, &group, state)? {
+                    None => {
+                        // Skip past this group (plus a guard row) so groups
+                        // never overlap.
+                        base += span + 1;
+                        groups.push(group);
+                        continue;
+                    }
+                    Some(diag) => state.note_quarantine(diag),
                 }
             }
             base += 1;
@@ -281,34 +475,208 @@ impl RowScout {
     /// Paper: "RS validates the retention time of a row one thousand
     /// times to ensure its consistency over time." Each check verifies
     /// both sides of the bucket: the row must fail after `T` and hold
-    /// after `0.55 T`.
+    /// after `0.55 T`. Returns `None` when the group is valid, or the
+    /// diagnostics of the first offending row.
+    ///
+    /// Under fault injection a failed check is retried a bounded number
+    /// of times before the row is quarantined, because a single
+    /// injected fault can mimic every quarantine signature; fault-free,
+    /// the first failure is final (as before).
     fn validate_group(
         &self,
         mc: &mut MemoryController,
         group: &ProfiledRowGroup,
-    ) -> Result<bool, UtrrError> {
+        state: &mut ScanState,
+    ) -> Result<Option<RowDiagnostics>, UtrrError> {
         let cfg = &self.config;
+        let faulty = mc.faults_enabled();
+        let max_retries: u32 = if faulty { 2 } else { 0 };
+        let track_flips = faulty || cfg.vrt_probe;
+        let mut retries_spent = 0u32;
+        let mut signatures: Vec<Option<Vec<u32>>> = vec![None; group.rows.len()];
         for _ in 0..cfg.consistency_checks {
-            for profiled in &group.rows {
-                mc.write_row(cfg.bank, profiled.row, cfg.pattern.clone())?;
-            }
-            mc.wait_no_refresh(group.retention);
-            for profiled in &group.rows {
-                if mc.read_row(cfg.bank, profiled.row)?.is_clean() {
-                    return Ok(false); // held longer than profiled: VRT
+            // The rows must fail after the full interval T…
+            let mut attempt = 0u32;
+            loop {
+                match self.check_fails_at_t(mc, group, track_flips, &mut signatures)? {
+                    None => break,
+                    Some((profiled, reason)) => {
+                        if attempt < max_retries && reason != QuarantineReason::WriteUnstable {
+                            attempt += 1;
+                            retries_spent += 1;
+                            state.retries += 1;
+                            continue;
+                        }
+                        return Ok(Some(RowDiagnostics {
+                            row: profiled.row,
+                            phys: profiled.phys,
+                            reason,
+                            retries: retries_spent,
+                        }));
+                    }
                 }
             }
-            for profiled in &group.rows {
-                mc.write_row(cfg.bank, profiled.row, cfg.pattern.clone())?;
-            }
-            mc.wait_no_refresh(group.retention * 55 / 100);
-            for profiled in &group.rows {
-                if !mc.read_row(cfg.bank, profiled.row)?.is_clean() {
-                    return Ok(false); // failed too soon: VRT or margin
+            // …and must still hold at the 0.55 T early margin.
+            let mut attempt = 0u32;
+            loop {
+                match self.check_holds_at_margin(mc, group)? {
+                    None => break,
+                    Some((profiled, reason)) => {
+                        if attempt < max_retries && reason != QuarantineReason::WriteUnstable {
+                            attempt += 1;
+                            retries_spent += 1;
+                            state.retries += 1;
+                            continue;
+                        }
+                        return Ok(Some(RowDiagnostics {
+                            row: profiled.row,
+                            phys: profiled.phys,
+                            reason,
+                            retries: retries_spent,
+                        }));
+                    }
                 }
             }
         }
-        Ok(true)
+        if cfg.vrt_probe {
+            if let Some((profiled, reason)) = self.probe_vrt_ladder(mc, group)? {
+                return Ok(Some(RowDiagnostics {
+                    row: profiled.row,
+                    phys: profiled.phys,
+                    reason,
+                    retries: retries_spent,
+                }));
+            }
+        }
+        Ok(None)
+    }
+
+    /// One "must fail at T" validation check. With `track_flips`, also
+    /// requires the failure *signature* (the exact flipped-bit set) to
+    /// repeat across checks: a VRT cell toggling inside the bucket
+    /// changes the signature even while the row keeps failing.
+    ///
+    /// On a faulty substrate the decay window is stretched by 5% —
+    /// headroom past the injected retention-drift amplitude, so a row
+    /// profiled right at `T` still fails when the environment runs a
+    /// couple of percent "cold". VRT swings are ~3×, far outside the
+    /// margin, so the flap detection keeps its teeth. Fault-free the
+    /// wait is exactly `T`, keeping the command stream unchanged.
+    fn check_fails_at_t(
+        &self,
+        mc: &mut MemoryController,
+        group: &ProfiledRowGroup,
+        track_flips: bool,
+        signatures: &mut [Option<Vec<u32>>],
+    ) -> Result<Option<(ProfiledRow, QuarantineReason)>, UtrrError> {
+        let cfg = &self.config;
+        for profiled in &group.rows {
+            if !robust::write_row_checked(mc, cfg.bank, profiled.row, &cfg.pattern)? {
+                return Ok(Some((*profiled, QuarantineReason::WriteUnstable)));
+            }
+        }
+        let wait = if mc.faults_enabled() { group.retention * 21 / 20 } else { group.retention };
+        mc.wait_no_refresh(wait);
+        for (i, profiled) in group.rows.iter().enumerate() {
+            let readout = robust::read_row_voted(mc, cfg.bank, profiled.row)?;
+            if readout.is_clean() {
+                return Ok(Some((*profiled, QuarantineReason::VrtFlap)));
+            }
+            if track_flips {
+                let sig = readout.flipped_bits().to_vec();
+                match &signatures[i] {
+                    Some(prev) if *prev != sig => {
+                        return Ok(Some((*profiled, QuarantineReason::UnstableFlips)));
+                    }
+                    Some(_) => {}
+                    None => signatures[i] = Some(sig),
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// One "must hold at 0.55 T" validation check. On a faulty
+    /// substrate the margin tightens to `0.5 T` — the mirror image of
+    /// [`Self::check_fails_at_t`]'s stretched window, so a bucket row
+    /// whose retention sits just above `0.55 T` isn't condemned as
+    /// drifting when the injected environment runs a couple of percent
+    /// "hot". Fault-free the wait is exactly `0.55 T` as before.
+    fn check_holds_at_margin(
+        &self,
+        mc: &mut MemoryController,
+        group: &ProfiledRowGroup,
+    ) -> Result<Option<(ProfiledRow, QuarantineReason)>, UtrrError> {
+        let cfg = &self.config;
+        for profiled in &group.rows {
+            if !robust::write_row_checked(mc, cfg.bank, profiled.row, &cfg.pattern)? {
+                return Ok(Some((*profiled, QuarantineReason::WriteUnstable)));
+            }
+        }
+        let margin =
+            if mc.faults_enabled() { group.retention / 2 } else { group.retention * 55 / 100 };
+        mc.wait_no_refresh(margin);
+        for profiled in &group.rows {
+            if !robust::read_row_voted(mc, cfg.bank, profiled.row)?.is_clean() {
+                return Ok(Some((*profiled, QuarantineReason::RetentionDrift)));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Extended VRT probe (opt-in via [`ScoutConfig::vrt_probe`]): a
+    /// candidate row can hide a VRT cell whose retention sits entirely
+    /// *above* the bucket — invisible to the consistency checks at `T`.
+    /// Probe a ladder of longer horizons (×1.3 per rung, up to 6.5 T,
+    /// past the ~3× retention swing VRT cells exhibit) and require the
+    /// failure signature at every rung to repeat across trials. Between
+    /// trials, short restore/decay churn cycles give any VRT cell
+    /// plenty of chances to toggle state while being watched.
+    ///
+    /// Each rung runs under both solid data polarities, not just the
+    /// profiling pattern: a cell only leaks when the stored bit equals
+    /// its charged value, so a one-pattern probe is blind to every cell
+    /// of the opposite polarity (the paper profiles with a pattern *and
+    /// its inverse* for exactly this reason, §3.1).
+    fn probe_vrt_ladder(
+        &self,
+        mc: &mut MemoryController,
+        group: &ProfiledRowGroup,
+    ) -> Result<Option<(ProfiledRow, QuarantineReason)>, UtrrError> {
+        let cfg = &self.config;
+        let ceiling = group.retention * 13 / 2;
+        for pattern in [DataPattern::Ones, DataPattern::Zeros] {
+            let mut horizon = group.retention * 13 / 10;
+            while horizon <= ceiling {
+                let mut signatures: Vec<Option<Vec<u32>>> = vec![None; group.rows.len()];
+                for _trial in 0..4 {
+                    for _churn in 0..8 {
+                        for profiled in &group.rows {
+                            mc.write_row(cfg.bank, profiled.row, pattern.clone())?;
+                        }
+                        mc.wait_no_refresh(Nanos::from_ms(2));
+                    }
+                    for profiled in &group.rows {
+                        mc.write_row(cfg.bank, profiled.row, pattern.clone())?;
+                    }
+                    mc.wait_no_refresh(horizon);
+                    for (i, profiled) in group.rows.iter().enumerate() {
+                        let sig = robust::read_row_voted(mc, cfg.bank, profiled.row)?
+                            .flipped_bits()
+                            .to_vec();
+                        match &signatures[i] {
+                            Some(prev) if *prev != sig => {
+                                return Ok(Some((*profiled, QuarantineReason::UnstableFlips)));
+                            }
+                            Some(_) => {}
+                            None => signatures[i] = Some(sig),
+                        }
+                    }
+                }
+                horizon = horizon * 13 / 10;
+            }
+        }
+        Ok(None)
     }
 }
 
@@ -417,6 +785,53 @@ mod tests {
         let groups = scout("RRARR", 1).scan(&mut mc).unwrap();
         assert_eq!(groups.len(), 1);
         assert_eq!(groups[0].rows.len(), 4);
+    }
+
+    #[test]
+    fn scan_report_matches_scan_on_success() {
+        let mut mc = controller(11);
+        let groups = scout("RAR", 3).scan(&mut mc).unwrap();
+        let mut mc = controller(11);
+        let report = scout("RAR", 3).scan_report(&mut mc).unwrap();
+        assert!(report.is_complete());
+        assert_eq!(report.requested, 3);
+        assert_eq!(report.groups, groups);
+        assert!(!report.budget_exhausted);
+        assert!(report.acts_used > 0);
+        // Fault-free there are no verified writes, so no retries, and
+        // the only possible quarantine reasons are the paper's two
+        // validation failure modes.
+        assert_eq!(report.retries, 0);
+        for diag in &report.quarantined {
+            assert!(
+                matches!(diag.reason, QuarantineReason::VrtFlap | QuarantineReason::RetentionDrift),
+                "{diag:?}"
+            );
+            assert_eq!(diag.retries, 0);
+        }
+    }
+
+    #[test]
+    fn act_budget_degrades_gracefully() {
+        let mut mc = controller(11);
+        let mut cfg =
+            ScoutConfig::new(Bank::new(0), 1024, RowGroupLayout::single_aggressor_pair(), 64);
+        cfg.max_acts = Some(10_000);
+        let report = RowScout::new(cfg.clone()).scan_report(&mut mc).unwrap();
+        assert!(report.budget_exhausted);
+        assert!(!report.is_complete());
+        // scan() over the same exhausted budget surfaces the classic error.
+        let mut mc = controller(11);
+        let err = RowScout::new(cfg).scan(&mut mc).unwrap_err();
+        assert!(matches!(err, UtrrError::NotEnoughRowGroups { .. }));
+    }
+
+    #[test]
+    fn quarantine_reasons_have_stable_labels() {
+        assert_eq!(QuarantineReason::VrtFlap.to_string(), "vrt-flap");
+        assert_eq!(QuarantineReason::RetentionDrift.to_string(), "retention-drift");
+        assert_eq!(QuarantineReason::WriteUnstable.to_string(), "write-unstable");
+        assert_eq!(QuarantineReason::UnstableFlips.to_string(), "unstable-flips");
     }
 
     impl ProfiledRowGroup {

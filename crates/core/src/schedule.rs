@@ -17,7 +17,12 @@
 use softmc::MemoryController;
 
 use crate::error::UtrrError;
+use crate::robust;
 use crate::rowscout::ProfiledRowGroup;
+
+/// Counter: schedule-learning attempts that were retried (fault-aware
+/// mode only).
+pub const CTR_SCHEDULE_RETRIES: &str = "utrr.schedule.retries";
 
 /// The learned schedule: the probe row is restored by the regular
 /// refresh machinery at every global `REF` index `k` with
@@ -89,11 +94,81 @@ pub fn learn_refresh_schedule(
 
 /// Learns the regular-refresh schedule of one retention-profiled row.
 ///
+/// Under fault injection the whole measurement is retried a bounded
+/// number of times, and every learned schedule must pass a predictive
+/// verification (its covers/doesn't-cover prediction has to match a
+/// handful of fresh trials) before it is accepted — a schedule learned
+/// from a fault-corrupted trial would silently misclassify TRR
+/// refreshes for the rest of the run. Fault-free, the measurement runs
+/// exactly once with no verification, as before.
+///
 /// # Errors
 ///
 /// [`UtrrError::ScheduleNotFound`] if no periodic restore is observed
-/// within a generous search budget; device errors are propagated.
+/// (or verification keeps failing) within the retry budget; device
+/// errors are propagated.
 pub fn learn_row_schedule(
+    mc: &mut MemoryController,
+    bank: dram_sim::Bank,
+    probe: dram_sim::RowAddr,
+    retention: dram_sim::Nanos,
+    pattern: &dram_sim::DataPattern,
+) -> Result<RefreshSchedule, UtrrError> {
+    let attempts = if mc.faults_enabled() { 3 } else { 1 };
+    let registry = std::sync::Arc::clone(mc.registry());
+    let mut last = UtrrError::ScheduleNotFound;
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            registry.counter(CTR_SCHEDULE_RETRIES).inc();
+        }
+        match learn_row_schedule_once(mc, bank, probe, retention, pattern) {
+            Ok(schedule) => {
+                if !mc.faults_enabled()
+                    || verify_schedule(mc, bank, probe, retention, pattern, &schedule)?
+                {
+                    return Ok(schedule);
+                }
+                last = UtrrError::ScheduleNotFound;
+            }
+            Err(e @ UtrrError::ScheduleNotFound) => last = e,
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last)
+}
+
+/// Predictive verification of a learned schedule (fault-aware mode
+/// only): four fresh burst trials must match the schedule's
+/// covers/doesn't-cover prediction in at least three cases.
+fn verify_schedule(
+    mc: &mut MemoryController,
+    bank: dram_sim::Bank,
+    probe: dram_sim::RowAddr,
+    retention: dram_sim::Nanos,
+    pattern: &dram_sim::DataPattern,
+    schedule: &RefreshSchedule,
+) -> Result<bool, UtrrError> {
+    const TRIALS: u32 = 4;
+    let half = retention / 2;
+    let margin = retention / 25;
+    let mut correct = 0u32;
+    for i in 0..TRIALS {
+        let burst = if i % 2 == 0 { 32 } else { 64 };
+        let before = mc.module().ref_count();
+        robust::write_row_checked(mc, bank, probe, pattern)?;
+        mc.wait_no_refresh(half);
+        mc.refresh(burst);
+        mc.wait_no_refresh(half + margin);
+        let clean = robust::read_row_voted(mc, bank, probe)?.is_clean();
+        if clean == schedule.covers(before, before + burst) {
+            correct += 1;
+        }
+    }
+    Ok(correct >= TRIALS - 1)
+}
+
+/// One unretried schedule measurement (see [`learn_row_schedule`]).
+fn learn_row_schedule_once(
     mc: &mut MemoryController,
     bank: dram_sim::Bank,
     probe: dram_sim::RowAddr,
@@ -121,12 +196,15 @@ pub fn learn_row_schedule(
     let margin = retention / 25;
 
     // One coarse trial: does a burst of `burst` REFs restore the row?
+    // Voted reads and verified writes are no-ops fault-free; under
+    // fault injection they keep single in-flight faults from forging a
+    // restore observation.
     let trial = |mc: &mut MemoryController, burst: u64| -> Result<bool, UtrrError> {
-        mc.write_row(bank, probe, pattern.clone())?;
+        robust::write_row_checked(mc, bank, probe, &pattern)?;
         mc.wait_no_refresh(half);
         mc.refresh(burst);
         mc.wait_no_refresh(half + margin);
-        Ok(mc.read_row(bank, probe)?.is_clean())
+        Ok(robust::read_row_voted(mc, bank, probe)?.is_clean())
     };
 
     // Coarse pass: find two consecutive restore windows.

@@ -1,0 +1,71 @@
+//! The VRT-filtering property (§4.1): a row group returned by Row Scout
+//! must never contain a VRT-afflicted row, because a cell that toggles
+//! its retention time mid-experiment silently corrupts the retention
+//! side channel every later stage depends on.
+//!
+//! With `vrt_probe` enabled, the scout tracks bit-level failure
+//! signatures across validation checks and climbs a ladder of longer
+//! decay horizons, so even VRT cells whose short retention hides above
+//! the profiled bucket get caught toggling. The check runs over several
+//! fixed module seeds (deterministic replays, not sampled randomness),
+//! verifying the filter against ground truth the scout itself never
+//! sees: the simulator's per-row physics.
+
+use dram_sim::{Bank, Module, ModuleConfig};
+use softmc::MemoryController;
+use utrr_core::{RowGroupLayout, RowScout, ScoutConfig};
+
+const BANK: Bank = Bank::new(0);
+const SEEDS: [u64; 5] = [3, 11, 29, 61, 101];
+
+#[test]
+fn vrt_probe_never_returns_a_vrt_row() {
+    let mut groups_checked = 0usize;
+    for seed in SEEDS {
+        let module = Module::new(ModuleConfig::small_test(), seed);
+        let mut mc = MemoryController::new(module);
+        let mut cfg = ScoutConfig::new(BANK, 1_024, RowGroupLayout::single_aggressor_pair(), 4);
+        cfg.vrt_probe = true;
+        let report = RowScout::new(cfg).scan_report(&mut mc).expect("scan runs");
+        assert!(report.is_complete(), "seed {seed}: probe must not exhaust the bank");
+        for group in &report.groups {
+            groups_checked += 1;
+            for profiled in &group.rows {
+                let view = mc.module_mut().inspect_row(BANK, profiled.row);
+                assert!(
+                    !view.has_vrt(),
+                    "seed {seed}: scout returned VRT row {} (phys {})",
+                    profiled.row,
+                    profiled.phys,
+                );
+            }
+        }
+    }
+    assert!(groups_checked >= SEEDS.len(), "the property must cover real groups");
+}
+
+#[test]
+fn plain_scan_and_probe_scan_agree_on_clean_banks() {
+    // On a bank where the plain scan already returns VRT-free groups,
+    // enabling the probe must not change which groups are found — the
+    // extra traffic only rejects rows, never reorders the search.
+    let seed = 11;
+    let plain = {
+        let mut mc = MemoryController::new(Module::new(ModuleConfig::small_test(), seed));
+        let cfg = ScoutConfig::new(BANK, 1_024, RowGroupLayout::single_aggressor_pair(), 3);
+        RowScout::new(cfg).scan(&mut mc).expect("plain scan finds groups")
+    };
+    let probed = {
+        let mut mc = MemoryController::new(Module::new(ModuleConfig::small_test(), seed));
+        let mut cfg = ScoutConfig::new(BANK, 1_024, RowGroupLayout::single_aggressor_pair(), 3);
+        cfg.vrt_probe = true;
+        RowScout::new(cfg).scan(&mut mc).expect("probed scan finds groups")
+    };
+    let plain_vrt_free = plain.iter().all(|g| {
+        let mut mc = MemoryController::new(Module::new(ModuleConfig::small_test(), seed));
+        g.rows.iter().all(|p| !mc.module_mut().inspect_row(BANK, p.row).has_vrt())
+    });
+    if plain_vrt_free {
+        assert_eq!(probed, plain, "probe must not disturb an already-clean scan");
+    }
+}

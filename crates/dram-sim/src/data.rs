@@ -190,6 +190,46 @@ impl RowReadout {
     pub fn dataword_count(&self) -> u32 {
         self.row_bits / 64
     }
+
+    /// Number of bits in the row.
+    pub fn row_bits(&self) -> u32 {
+        self.row_bits
+    }
+
+    /// Toggles `bit` in the readout — fault-injection support: a
+    /// transient read error corrupts the data *in flight*, not the cell,
+    /// so the device's stored state is untouched. Toggling an
+    /// already-flipped bit makes it read back clean, exactly as a bus
+    /// error XORs the sensed value.
+    pub fn inject_flip(&mut self, bit: u32) {
+        let bit = bit % self.row_bits.max(1);
+        match self.flipped.binary_search(&bit) {
+            Ok(pos) => {
+                self.flipped.remove(pos);
+            }
+            Err(pos) => self.flipped.insert(pos, bit),
+        }
+    }
+
+    /// Clears every flip from the readout — a stuck read that returns
+    /// the written pattern regardless of what the cells hold.
+    pub fn clear_flips(&mut self) {
+        self.flipped.clear();
+    }
+
+    /// A copy of this readout carrying a different flip set — support
+    /// for controller-side consensus logic that reconciles several reads
+    /// of the same row into one result.
+    pub fn with_flips(&self, mut flips: Vec<u32>) -> RowReadout {
+        flips.sort_unstable();
+        flips.dedup();
+        RowReadout {
+            row: self.row,
+            pattern: self.pattern.clone(),
+            flipped: flips,
+            row_bits: self.row_bits,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -67,6 +67,37 @@ mod tests {
     }
 
     #[test]
+    fn every_variant_displays_its_key_fact() {
+        let cases: Vec<(DramError, &str)> = vec![
+            (DramError::BankOutOfRange { bank: Bank::new(9), banks: 8 }, "8 banks"),
+            (DramError::RowOutOfRange { row: RowAddr::new(4096), rows: 2048 }, "2048 rows"),
+            (DramError::PhysRowOutOfRange { row: PhysRow::new(4096), rows: 2048 }, "physical row"),
+            (
+                DramError::BankAlreadyOpen { bank: Bank::new(2), open: RowAddr::new(7) },
+                "already has row",
+            ),
+            (DramError::BankClosed { bank: Bank::new(3) }, "no open row"),
+            (
+                DramError::TimeRegression { now: Nanos::from_ms(2), requested: Nanos::from_ms(1) },
+                "before device time",
+            ),
+        ];
+        for (error, needle) in cases {
+            let msg = error.to_string();
+            assert!(msg.contains(needle), "{error:?} renders {msg:?} without {needle:?}");
+            assert!(msg.starts_with(char::is_lowercase), "{msg:?} must start lowercase");
+        }
+    }
+
+    #[test]
+    fn protocol_errors_have_no_source() {
+        // The physics layer is infallible, so no variant wraps another
+        // error — `source()` must be `None` across the board.
+        let e = DramError::BankOutOfRange { bank: Bank::new(9), banks: 8 };
+        assert!(e.source().is_none());
+    }
+
+    #[test]
     fn error_trait_is_implemented() {
         fn takes_error<E: Error + Send + Sync + 'static>(_: E) {}
         takes_error(DramError::BankClosed { bank: Bank::new(0) });

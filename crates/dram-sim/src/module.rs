@@ -139,6 +139,15 @@ pub struct Module {
     /// Reusable drain buffer for mitigation detections, so the `REF`
     /// and post-batch hot paths allocate nothing per command.
     detect_buf: Vec<TrrDetection>,
+    /// Environmental retention multiplier (fault-injection support):
+    /// decay windows are divided by this factor before the physics sees
+    /// them, so values above 1.0 model cooling (longer retention) and
+    /// below 1.0 heating. Exactly 1.0 is a strict no-op.
+    retention_drift: f64,
+    /// Override of [`PhysicsConfig::vrt_switch_prob`] while a VRT burst
+    /// episode is active (fault-injection support). `None` uses the
+    /// configured probability.
+    vrt_switch_override: Option<f64>,
     metrics: DeviceMetrics,
 }
 
@@ -165,6 +174,8 @@ impl Module {
             touched: vec![0u64; row_slots.div_ceil(64)],
             banks,
             detect_buf: Vec::new(),
+            retention_drift: 1.0,
+            vrt_switch_override: None,
             metrics,
         }
     }
@@ -233,6 +244,32 @@ impl Module {
     /// refresh).
     pub fn advance(&mut self, duration: Nanos) {
         self.now += duration;
+    }
+
+    /// Sets the environmental retention multiplier: every subsequent
+    /// decay window is divided by `drift` before the physics sees it,
+    /// so `drift > 1.0` lengthens effective retention (cooling) and
+    /// `drift < 1.0` shortens it (heating). Non-finite or non-positive
+    /// values reset to the neutral 1.0.
+    pub fn set_retention_drift(&mut self, drift: f64) {
+        self.retention_drift = if drift.is_finite() && drift > 0.0 { drift } else { 1.0 };
+    }
+
+    /// The retention multiplier currently in effect.
+    pub fn retention_drift(&self) -> f64 {
+        self.retention_drift
+    }
+
+    /// Overrides the per-observation VRT switch probability (a burst
+    /// episode temporarily destabilising VRT cells); `None` restores
+    /// the configured [`PhysicsConfig::vrt_switch_prob`].
+    pub fn set_vrt_switch_override(&mut self, prob: Option<f64>) {
+        self.vrt_switch_override = prob.map(|p| p.clamp(0.0, 1.0));
+    }
+
+    /// The active VRT switch-probability override, if any.
+    pub fn vrt_switch_override(&self) -> Option<f64> {
+        self.vrt_switch_override
     }
 
     /// Opens `row` in `bank`. The activation restores the row itself and
@@ -641,7 +678,15 @@ impl Module {
             return;
         }
         let cfg = &self.config.physics;
-        let elapsed = now - state.last_restore;
+        let raw_elapsed = now - state.last_restore;
+        // Retention drift scales the decay window, not the clock: a 2%
+        // cooler part behaves as if 2% less time had passed. 1.0 takes
+        // the untouched path so fault-free runs stay bit-identical.
+        let elapsed = if self.retention_drift != 1.0 {
+            Nanos::from_ns((raw_elapsed.as_ns() as f64 / self.retention_drift) as u64)
+        } else {
+            raw_elapsed
+        };
         let mut new_flips = 0u64;
         if let Some(data) = &mut state.data {
             let flips =
@@ -653,8 +698,9 @@ impl Module {
                 data.set_flipped(bit);
             }
         }
-        if elapsed >= VRT_OBSERVATION_FLOOR {
-            state.physics.advance_vrt(cfg);
+        if raw_elapsed >= VRT_OBSERVATION_FLOOR {
+            let switch_prob = self.vrt_switch_override.unwrap_or(cfg.vrt_switch_prob);
+            state.physics.advance_vrt(switch_prob);
         }
         state.last_restore = now;
         state.disturbance = 0.0;

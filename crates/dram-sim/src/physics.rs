@@ -254,11 +254,13 @@ impl RowPhysics {
 
     /// Advances the VRT Markov chain of every VRT cell by one observation
     /// window. Called by the device whenever a non-trivial decay window
-    /// ends (a restore after time has passed).
-    pub fn advance_vrt(&mut self, cfg: &PhysicsConfig) {
+    /// ends (a restore after time has passed). The switch probability is
+    /// passed in because the device may override the configured value
+    /// during an injected VRT burst episode.
+    pub fn advance_vrt(&mut self, switch_prob: f64) {
         for cell in &mut self.weak_cells {
             if let Some(vrt) = &mut cell.vrt {
-                if self.vrt_rng.next_bool(cfg.vrt_switch_prob) {
+                if self.vrt_rng.next_bool(switch_prob) {
                     vrt.in_long = !vrt.in_long;
                 }
             }
@@ -429,7 +431,7 @@ mod tests {
         let initial: Vec<Nanos> = p.weak_cells.iter().map(WeakCell::effective_retention).collect();
         let mut changed = false;
         for _ in 0..1_000 {
-            p.advance_vrt(&c);
+            p.advance_vrt(c.vrt_switch_prob);
             let now: Vec<Nanos> = p.weak_cells.iter().map(WeakCell::effective_retention).collect();
             if now != initial {
                 changed = true;
@@ -448,7 +450,7 @@ mod tests {
             .expect("some weak non-VRT row exists");
         let initial = p.min_retention();
         for _ in 0..1_000 {
-            p.advance_vrt(&c);
+            p.advance_vrt(c.vrt_switch_prob);
         }
         assert_eq!(p.min_retention(), initial);
     }

@@ -1,0 +1,535 @@
+//! Deterministic, seeded fault injection for the simulated
+//! device/controller boundary.
+//!
+//! On real DDR4 hardware, U-TRR's methodology only works because Row
+//! Scout actively survives an unreliable substrate (§4.1 of the paper:
+//! VRT rows are discarded, retention times re-verified, rows re-profiled
+//! when their behaviour drifts). This crate turns the simulator's
+//! too-perfect substrate back into a hostile one — *reproducibly*:
+//!
+//! * a [`FaultPlan`] schedules transient read bit-flips, spurious stuck
+//!   reads, dropped and garbled writes, a slow retention-time drift over
+//!   simulated time (a temperature-style ramp), and VRT burst episodes
+//!   that temporarily raise the device's VRT switch probability;
+//! * every decision is drawn from the workspace's own SplitMix64 stream,
+//!   so a `(profile, seed)` pair replays the exact same fault sequence
+//!   against the exact same command sequence;
+//! * [`FaultyController`] wraps a [`MemoryController`] with a plan while
+//!   exposing the same interface (via `Deref`), so every caller in
+//!   `core`, `attacks`, and `bench` runs unmodified.
+//!
+//! The crate is std-only and depends only on `dram-sim`, `softmc`, and
+//! `obs`. Injected-fault counts are reported as `faults.injected.*`
+//! counters in the standard metrics registry.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::str::FromStr;
+use std::sync::Arc;
+
+use dram_sim::rng::SplitMix64;
+use dram_sim::{Bank, DataPattern, Module, Nanos, RowAddr, RowReadout};
+use obs::MetricsRegistry;
+use softmc::{FaultInjector, MemoryController, WriteFault};
+
+/// Counter: total faults injected, across all kinds.
+pub const CTR_INJECTED_TOTAL: &str = "faults.injected.total";
+/// Counter: transient read bit-flips injected.
+pub const CTR_READ_FLIPS: &str = "faults.injected.read_flips";
+/// Counter: stuck reads injected (readout forced clean).
+pub const CTR_STUCK_READS: &str = "faults.injected.stuck_reads";
+/// Counter: row writes silently dropped.
+pub const CTR_DROPPED_WRITES: &str = "faults.injected.dropped_writes";
+/// Counter: row writes garbled into a different pattern.
+pub const CTR_GARBLED_WRITES: &str = "faults.injected.garbled_writes";
+/// Counter: VRT burst episodes started.
+pub const CTR_VRT_BURSTS: &str = "faults.injected.vrt_bursts";
+
+/// A named fault intensity, selectable from the command line
+/// (`--faults none|mild|hostile`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum FaultProfile {
+    /// No injector at all: the controller takes the exact fault-free
+    /// code paths, bit-identical to a build without the fault layer.
+    #[default]
+    None,
+    /// Rare transients and a gentle environment: the profiling pipeline
+    /// is expected to recover *correct* results with bounded retries.
+    Mild,
+    /// Frequent corruption and a volatile environment: the pipeline is
+    /// expected to degrade gracefully (partial results, quarantines),
+    /// not to stay correct.
+    Hostile,
+}
+
+impl FromStr for FaultProfile {
+    type Err = ParseFaultProfileError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "none" => Ok(FaultProfile::None),
+            "mild" => Ok(FaultProfile::Mild),
+            "hostile" => Ok(FaultProfile::Hostile),
+            _ => Err(ParseFaultProfileError { input: s.to_string() }),
+        }
+    }
+}
+
+impl fmt::Display for FaultProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FaultProfile::None => "none",
+            FaultProfile::Mild => "mild",
+            FaultProfile::Hostile => "hostile",
+        })
+    }
+}
+
+/// Error for an unrecognised `--faults` value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseFaultProfileError {
+    /// The rejected input.
+    pub input: String,
+}
+
+impl fmt::Display for ParseFaultProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown fault profile {:?} (expected none, mild, or hostile)", self.input)
+    }
+}
+
+impl std::error::Error for ParseFaultProfileError {}
+
+/// Tunable fault rates and environmental parameters of a [`FaultPlan`].
+///
+/// Probabilities are per affected command (read or write); the drift
+/// and burst parameters evolve with *simulated* time, sampled at the
+/// controller's bulk time steps (waits, paced refresh bursts).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Probability that a row read comes back with transient bit-flips.
+    pub read_flip_prob: f64,
+    /// Most transient flips injected into one corrupted read (at least 1).
+    pub max_read_flip_bits: u32,
+    /// Probability that a row read comes back stuck at the written
+    /// pattern (all real flips masked).
+    pub stuck_read_prob: f64,
+    /// Probability that a row write is silently dropped.
+    pub dropped_write_prob: f64,
+    /// Probability that a row write lands with a garbled pattern.
+    pub garbled_write_prob: f64,
+    /// Peak relative retention drift: effective retention oscillates
+    /// between `1 - a` and `1 + a` times nominal (temperature ramp).
+    pub drift_amplitude: f64,
+    /// Period of one full drift oscillation in simulated time.
+    pub drift_period: Nanos,
+    /// Per-tick probability that a VRT burst episode starts.
+    pub vrt_burst_prob: f64,
+    /// VRT switch probability while a burst is active (the device's
+    /// configured value is ~0.08).
+    pub vrt_burst_switch_prob: f64,
+    /// How long one burst episode lasts in simulated time.
+    pub vrt_burst_duration: Nanos,
+}
+
+impl FaultConfig {
+    /// The `mild` profile: rare transients, ±2% retention drift over a
+    /// 4 s period (slow enough that Row Scout's validation pass spans
+    /// several periods and filters marginal rows at every drift phase),
+    /// short occasional VRT bursts. Calibrated so the reverse-engineering
+    /// pipeline still recovers correct ground-truth parameters with
+    /// bounded retries.
+    pub fn mild() -> Self {
+        FaultConfig {
+            read_flip_prob: 0.002,
+            max_read_flip_bits: 2,
+            stuck_read_prob: 0.0005,
+            dropped_write_prob: 0.0005,
+            garbled_write_prob: 0.0002,
+            drift_amplitude: 0.02,
+            drift_period: Nanos::from_ms(4_000),
+            vrt_burst_prob: 0.001,
+            vrt_burst_switch_prob: 0.5,
+            vrt_burst_duration: Nanos::from_ms(200),
+        }
+    }
+
+    /// The `hostile` profile: frequent corruption, ±8% drift, long
+    /// aggressive VRT bursts. Correctness is not expected here — only
+    /// graceful degradation (partial `ScoutReport`s, quarantines,
+    /// bounded budgets).
+    pub fn hostile() -> Self {
+        FaultConfig {
+            read_flip_prob: 0.02,
+            max_read_flip_bits: 3,
+            stuck_read_prob: 0.005,
+            dropped_write_prob: 0.005,
+            garbled_write_prob: 0.002,
+            drift_amplitude: 0.08,
+            drift_period: Nanos::from_ms(2_000),
+            vrt_burst_prob: 0.01,
+            vrt_burst_switch_prob: 0.8,
+            vrt_burst_duration: Nanos::from_ms(500),
+        }
+    }
+
+    /// The configuration for a named profile; `None` for
+    /// [`FaultProfile::None`] (no injector should be installed at all).
+    pub fn for_profile(profile: FaultProfile) -> Option<FaultConfig> {
+        match profile {
+            FaultProfile::None => None,
+            FaultProfile::Mild => Some(FaultConfig::mild()),
+            FaultProfile::Hostile => Some(FaultConfig::hostile()),
+        }
+    }
+}
+
+/// Running tallies of injected faults, mirrored into `faults.injected.*`
+/// counters when a registry is attached.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultTally {
+    /// Corrupted reads (each may carry several flipped bits).
+    pub read_flips: u64,
+    /// Stuck reads.
+    pub stuck_reads: u64,
+    /// Dropped writes.
+    pub dropped_writes: u64,
+    /// Garbled writes.
+    pub garbled_writes: u64,
+    /// VRT burst episodes started.
+    pub vrt_bursts: u64,
+}
+
+impl FaultTally {
+    /// Total injected faults across all kinds.
+    pub fn total(&self) -> u64 {
+        self.read_flips
+            + self.stuck_reads
+            + self.dropped_writes
+            + self.garbled_writes
+            + self.vrt_bursts
+    }
+}
+
+/// A deterministic schedule of injectable faults, implementing
+/// [`FaultInjector`] for installation into a
+/// [`MemoryController`].
+///
+/// # Example
+///
+/// ```
+/// use dram_sim::{Module, ModuleConfig};
+/// use faults::{FaultPlan, FaultProfile, FaultyController};
+///
+/// let plan = FaultPlan::from_profile(FaultProfile::Mild, 42).unwrap();
+/// let mut mc = FaultyController::new(Module::new(ModuleConfig::small_test(), 7), plan);
+/// // `mc` derefs to `MemoryController`; every caller runs unmodified.
+/// assert!(mc.faults_enabled());
+/// ```
+pub struct FaultPlan {
+    cfg: FaultConfig,
+    rng: SplitMix64,
+    /// End of the VRT burst episode currently in effect, if any.
+    burst_until: Option<Nanos>,
+    tally: FaultTally,
+    registry: Option<Arc<MetricsRegistry>>,
+}
+
+impl fmt::Debug for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultPlan")
+            .field("cfg", &self.cfg)
+            .field("tally", &self.tally)
+            .field("burst_until", &self.burst_until)
+            .finish_non_exhaustive()
+    }
+}
+
+impl FaultPlan {
+    /// A plan drawing from the SplitMix64 stream seeded with `seed`.
+    pub fn new(cfg: FaultConfig, seed: u64) -> Self {
+        FaultPlan {
+            cfg,
+            rng: SplitMix64::new(seed),
+            burst_until: None,
+            tally: FaultTally::default(),
+            registry: None,
+        }
+    }
+
+    /// The plan for a named profile, or `None` for
+    /// [`FaultProfile::None`].
+    pub fn from_profile(profile: FaultProfile, seed: u64) -> Option<Self> {
+        FaultConfig::for_profile(profile).map(|cfg| FaultPlan::new(cfg, seed))
+    }
+
+    /// Reports injected-fault counts into `registry` (as
+    /// `faults.injected.*` counters) from now on.
+    pub fn attach_metrics(&mut self, registry: Arc<MetricsRegistry>) {
+        self.registry = Some(registry);
+    }
+
+    /// The fault configuration in effect.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// Running tallies of everything injected so far.
+    pub fn tally(&self) -> FaultTally {
+        self.tally
+    }
+
+    fn bump(&mut self, name: &str) {
+        if let Some(registry) = &self.registry {
+            registry.counter(name).inc();
+            registry.counter(CTR_INJECTED_TOTAL).inc();
+        }
+    }
+
+    /// A pattern observably different from `requested` for garbling.
+    fn garble_pattern(requested: &DataPattern) -> DataPattern {
+        match requested {
+            DataPattern::Zeros => DataPattern::Ones,
+            _ => DataPattern::Zeros,
+        }
+    }
+}
+
+impl FaultInjector for FaultPlan {
+    fn on_read(&mut self, _bank: Bank, _row: RowAddr, readout: &mut RowReadout, _now: Nanos) {
+        if self.rng.next_bool(self.cfg.stuck_read_prob) {
+            readout.clear_flips();
+            self.tally.stuck_reads += 1;
+            self.bump(CTR_STUCK_READS);
+            return;
+        }
+        if self.rng.next_bool(self.cfg.read_flip_prob) {
+            let bits = 1 + self.rng.next_below(u64::from(self.cfg.max_read_flip_bits.max(1)));
+            for _ in 0..bits {
+                let bit = self.rng.next_below(u64::from(readout.row_bits().max(1))) as u32;
+                readout.inject_flip(bit);
+            }
+            self.tally.read_flips += 1;
+            self.bump(CTR_READ_FLIPS);
+        }
+    }
+
+    fn on_write(
+        &mut self,
+        _bank: Bank,
+        _row: RowAddr,
+        pattern: &DataPattern,
+        _now: Nanos,
+    ) -> WriteFault {
+        if self.rng.next_bool(self.cfg.dropped_write_prob) {
+            self.tally.dropped_writes += 1;
+            self.bump(CTR_DROPPED_WRITES);
+            return WriteFault::Dropped;
+        }
+        if self.rng.next_bool(self.cfg.garbled_write_prob) {
+            self.tally.garbled_writes += 1;
+            self.bump(CTR_GARBLED_WRITES);
+            return WriteFault::Garbled(Self::garble_pattern(pattern));
+        }
+        WriteFault::None
+    }
+
+    fn on_tick(&mut self, now: Nanos, module: &mut Module) {
+        if self.cfg.drift_amplitude > 0.0 {
+            let phase = now.as_ns() as f64 / self.cfg.drift_period.as_ns().max(1) as f64;
+            let drift = 1.0 + self.cfg.drift_amplitude * (std::f64::consts::TAU * phase).sin();
+            module.set_retention_drift(drift);
+        }
+        match self.burst_until {
+            Some(until) if now < until => {}
+            _ => {
+                if module.vrt_switch_override().is_some() {
+                    module.set_vrt_switch_override(None);
+                    self.burst_until = None;
+                }
+                if self.rng.next_bool(self.cfg.vrt_burst_prob) {
+                    self.burst_until = Some(now + self.cfg.vrt_burst_duration);
+                    module.set_vrt_switch_override(Some(self.cfg.vrt_burst_switch_prob));
+                    self.tally.vrt_bursts += 1;
+                    self.bump(CTR_VRT_BURSTS);
+                }
+            }
+        }
+    }
+}
+
+/// A [`MemoryController`] wrapped with a [`FaultPlan`], exposing the
+/// same interface through `Deref`/`DerefMut` so existing experiment
+/// code runs unmodified against the faulty substrate.
+#[derive(Debug)]
+pub struct FaultyController {
+    inner: MemoryController,
+}
+
+impl FaultyController {
+    /// A controller over `module` with `plan` installed. The plan
+    /// reports its metrics into the module's registry.
+    pub fn new(module: Module, plan: FaultPlan) -> Self {
+        FaultyController::wrap(MemoryController::new(module), plan)
+    }
+
+    /// Installs `plan` into an existing controller.
+    pub fn wrap(mut mc: MemoryController, mut plan: FaultPlan) -> Self {
+        plan.attach_metrics(Arc::clone(mc.registry()));
+        mc.set_fault_injector(Some(Box::new(plan)));
+        FaultyController { inner: mc }
+    }
+
+    /// Removes the injector and releases the plain controller.
+    pub fn into_inner(mut self) -> MemoryController {
+        self.inner.set_fault_injector(None);
+        self.inner
+    }
+}
+
+impl Deref for FaultyController {
+    type Target = MemoryController;
+
+    fn deref(&self) -> &MemoryController {
+        &self.inner
+    }
+}
+
+impl DerefMut for FaultyController {
+    fn deref_mut(&mut self) -> &mut MemoryController {
+        &mut self.inner
+    }
+}
+
+/// Installs the plan for `(profile, seed)` into `mc`, reporting into
+/// the controller's registry. Returns whether an injector was installed
+/// (`false` for [`FaultProfile::None`], which leaves the controller
+/// untouched — the strict no-op path).
+pub fn install(mc: &mut MemoryController, profile: FaultProfile, seed: u64) -> bool {
+    match FaultPlan::from_profile(profile, seed) {
+        Some(mut plan) => {
+            plan.attach_metrics(Arc::clone(mc.registry()));
+            mc.set_fault_injector(Some(Box::new(plan)));
+            true
+        }
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_sim::ModuleConfig;
+
+    fn module() -> Module {
+        Module::new(ModuleConfig::small_test(), 11)
+    }
+
+    #[test]
+    fn profile_parsing_round_trips() {
+        for p in [FaultProfile::None, FaultProfile::Mild, FaultProfile::Hostile] {
+            assert_eq!(p.to_string().parse::<FaultProfile>().unwrap(), p);
+        }
+        let err = "warm".parse::<FaultProfile>().unwrap_err();
+        assert!(err.to_string().contains("warm"));
+        assert!(FaultConfig::for_profile(FaultProfile::None).is_none());
+        assert!(FaultPlan::from_profile(FaultProfile::None, 1).is_none());
+    }
+
+    #[test]
+    fn install_is_a_no_op_for_profile_none() {
+        let mut mc = MemoryController::new(module());
+        assert!(!install(&mut mc, FaultProfile::None, 1));
+        assert!(!mc.faults_enabled());
+        assert!(install(&mut mc, FaultProfile::Mild, 1));
+        assert!(mc.faults_enabled());
+    }
+
+    #[test]
+    fn fault_sequence_is_deterministic_in_the_seed() {
+        let run = |seed: u64| {
+            let plan = FaultPlan::from_profile(FaultProfile::Hostile, seed).unwrap();
+            let mut mc = FaultyController::new(module(), plan);
+            let bank = Bank::new(0);
+            let mut flips = Vec::new();
+            for r in 0..64 {
+                let row = RowAddr::new(r);
+                mc.write_row(bank, row, DataPattern::Ones).unwrap();
+                mc.wait_no_refresh(Nanos::from_ms(5));
+                flips.push(mc.read_row(bank, row).unwrap().flipped_bits().to_vec());
+            }
+            flips
+        };
+        assert_eq!(run(5), run(5), "same seed, same faults");
+        assert_ne!(run(5), run(6), "different seed, different faults");
+    }
+
+    #[test]
+    fn hostile_profile_injects_and_counts() {
+        let registry = MetricsRegistry::shared();
+        let mut plan = FaultPlan::from_profile(FaultProfile::Hostile, 3).unwrap();
+        plan.attach_metrics(Arc::clone(&registry));
+        let mut mc = FaultyController::wrap(MemoryController::new(module()), plan);
+        let bank = Bank::new(0);
+        for round in 0..200u32 {
+            let row = RowAddr::new(round % 256);
+            mc.write_row(bank, row, DataPattern::Ones).unwrap();
+            mc.wait_no_refresh(Nanos::from_ms(2));
+            let _ = mc.read_row(bank, row).unwrap();
+        }
+        // The wrap() path reports into the module's registry.
+        let injected = mc.registry().counter(CTR_INJECTED_TOTAL).get();
+        assert!(injected > 0, "hostile profile must inject something in 200 rounds");
+    }
+
+    #[test]
+    fn drift_follows_simulated_time() {
+        let plan = FaultPlan::from_profile(FaultProfile::Mild, 9).unwrap();
+        let amplitude = plan.config().drift_amplitude;
+        let period = plan.config().drift_period;
+        let mut mc = FaultyController::new(module(), plan);
+        // A quarter period lands on the sine peak.
+        mc.wait_no_refresh(period / 4);
+        let drift = mc.module().retention_drift();
+        assert!(
+            (drift - (1.0 + amplitude)).abs() < 1e-6,
+            "quarter-period drift should be at +amplitude, got {drift}"
+        );
+        mc.wait_no_refresh(period / 4);
+        let back = mc.module().retention_drift();
+        assert!((back - 1.0).abs() < 1e-6, "half-period drift back to 1.0, got {back}");
+    }
+
+    #[test]
+    fn vrt_bursts_eventually_start_and_stop() {
+        let plan = FaultPlan::from_profile(FaultProfile::Hostile, 17).unwrap();
+        let mut mc = FaultyController::new(module(), plan);
+        let mut saw_burst = false;
+        let mut saw_clear_after_burst = false;
+        for _ in 0..2_000 {
+            mc.wait_no_refresh(Nanos::from_ms(1));
+            match mc.module().vrt_switch_override() {
+                Some(_) => saw_burst = true,
+                None if saw_burst => saw_clear_after_burst = true,
+                None => {}
+            }
+        }
+        assert!(saw_burst, "hostile profile must start a burst in 2 s of ticks");
+        assert!(saw_clear_after_burst, "bursts must also end");
+    }
+
+    #[test]
+    fn garbled_pattern_differs_from_request() {
+        for p in [DataPattern::Zeros, DataPattern::Ones, DataPattern::Checkerboard] {
+            assert_ne!(FaultPlan::garble_pattern(&p), p);
+        }
+    }
+
+    #[test]
+    fn into_inner_detaches_the_plan() {
+        let plan = FaultPlan::from_profile(FaultProfile::Mild, 1).unwrap();
+        let faulty = FaultyController::new(module(), plan);
+        let mc = faulty.into_inner();
+        assert!(!mc.faults_enabled());
+    }
+}

@@ -3,6 +3,8 @@
 
 use dram_sim::{Bank, DataPattern, DramError, Module, Nanos, RowAddr, RowReadout};
 
+use crate::faults::{FaultInjector, WriteFault};
+
 /// The order in which multiple aggressor rows are hammered (§5.2).
 ///
 /// The paper: "interleaved hammering generally causes more bit flips (up
@@ -69,13 +71,53 @@ impl HammerSpec {
 #[derive(Debug)]
 pub struct MemoryController {
     module: Module,
+    /// Optional fault-injection hook at the controller/device boundary.
+    /// `None` (the default) keeps every code path bit-identical to a
+    /// controller without the hook.
+    faults: Option<Box<dyn FaultInjector>>,
 }
 
 impl MemoryController {
     /// Takes ownership of a module. No refresh happens unless explicitly
     /// requested.
     pub fn new(module: Module) -> Self {
-        MemoryController { module }
+        MemoryController { module, faults: None }
+    }
+
+    /// A controller with a fault injector installed from the start.
+    pub fn with_faults(module: Module, injector: Box<dyn FaultInjector>) -> Self {
+        MemoryController { module, faults: Some(injector) }
+    }
+
+    /// Installs (or, with `None`, removes) the fault injector.
+    pub fn set_fault_injector(&mut self, injector: Option<Box<dyn FaultInjector>>) {
+        self.faults = injector;
+    }
+
+    /// Whether a fault injector is installed. Robust callers use this to
+    /// decide whether defensive re-reads are worth their device traffic:
+    /// when `false`, the substrate is exact and extra verification would
+    /// only perturb command-stream reproducibility.
+    pub fn faults_enabled(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// Runs `f` with the injector temporarily detached, so the hook can
+    /// receive `&mut self.module` without aliasing the controller.
+    fn with_fault_hook(&mut self, f: impl FnOnce(&mut dyn FaultInjector, &mut Module)) {
+        if let Some(mut hook) = self.faults.take() {
+            f(hook.as_mut(), &mut self.module);
+            self.faults = Some(hook);
+        }
+    }
+
+    /// Lets the injector evolve environmental conditions after a bulk
+    /// time step.
+    fn tick_faults(&mut self) {
+        self.with_fault_hook(|hook, module| {
+            let now = module.now();
+            hook.on_tick(now, module);
+        });
     }
 
     /// The underlying device (read-only).
@@ -124,6 +166,15 @@ impl MemoryController {
         row: RowAddr,
         pattern: DataPattern,
     ) -> Result<(), DramError> {
+        if let Some(mut hook) = self.faults.take() {
+            let fate = hook.on_write(bank, row, &pattern, self.module.now());
+            self.faults = Some(hook);
+            return match fate {
+                WriteFault::None => self.module.write_row(bank, row, pattern),
+                WriteFault::Dropped => Ok(()),
+                WriteFault::Garbled(garbled) => self.module.write_row(bank, row, garbled),
+            };
+        }
         self.module.write_row(bank, row, pattern)
     }
 
@@ -139,7 +190,7 @@ impl MemoryController {
         pattern: &DataPattern,
     ) -> Result<(), DramError> {
         for &row in rows {
-            self.module.write_row(bank, row, pattern.clone())?;
+            self.write_row(bank, row, pattern.clone())?;
         }
         Ok(())
     }
@@ -150,7 +201,12 @@ impl MemoryController {
     ///
     /// Propagates protocol/addressing errors from the device.
     pub fn read_row(&mut self, bank: Bank, row: RowAddr) -> Result<RowReadout, DramError> {
-        self.module.read_row(bank, row)
+        let mut readout = self.module.read_row(bank, row)?;
+        if let Some(mut hook) = self.faults.take() {
+            hook.on_read(bank, row, &mut readout, self.module.now());
+            self.faults = Some(hook);
+        }
+        Ok(readout)
     }
 
     /// Reads every row in `rows`.
@@ -163,12 +219,22 @@ impl MemoryController {
         bank: Bank,
         rows: &[RowAddr],
     ) -> Result<Vec<RowReadout>, DramError> {
-        rows.iter().map(|&row| self.module.read_row(bank, row)).collect()
+        rows.iter().map(|&row| self.read_row(bank, row)).collect()
+    }
+
+    /// Gives an installed fault injector a chance to evolve
+    /// environmental conditions (retention drift, VRT bursts) at the
+    /// current simulated time. Harnesses that drive the module directly
+    /// (bypassing the controller's wait/refresh wrappers) call this once
+    /// per interval; without an injector it is a no-op.
+    pub fn tick_environment(&mut self) {
+        self.tick_faults();
     }
 
     /// Lets time pass with refresh disabled (rows decay).
     pub fn wait_no_refresh(&mut self, duration: Nanos) {
         self.module.advance(duration);
+        self.tick_faults();
     }
 
     /// Lets time pass while issuing `REF` at the default rate (one per
@@ -179,12 +245,14 @@ impl MemoryController {
         self.module.refresh_burst_at_refi(refs);
         let remainder = duration - t_refi * refs;
         self.module.advance(remainder);
+        self.tick_faults();
     }
 
     /// Issues `count` `REF` commands paced at the default `tREFI` rate
     /// (Requirement 3 of §5.1: flexible `REF` issuing).
     pub fn refresh(&mut self, count: u64) {
         self.module.refresh_burst_at_refi(count);
+        self.tick_faults();
     }
 
     /// Executes a hammer specification against one bank (Requirements 1
@@ -300,6 +368,9 @@ impl MemoryController {
                 self.module.refresh();
                 self.module.advance(idle);
             }
+            // One environmental tick per ~64 ms storm period is plenty
+            // of resolution for drift/burst evolution.
+            self.tick_faults();
         }
         Ok(())
     }

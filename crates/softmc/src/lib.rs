@@ -39,9 +39,11 @@
 //! ```
 
 pub mod controller;
+pub mod faults;
 pub mod program;
 pub mod trace;
 
 pub use controller::{HammerMode, HammerSpec, MemoryController};
+pub use faults::{FaultInjector, WriteFault};
 pub use program::{Instruction, Program, ProgramOutput};
 pub use trace::{CommandTrace, TraceCommand, TraceEntry};

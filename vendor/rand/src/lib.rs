@@ -202,7 +202,7 @@ mod tests {
     #[test]
     fn gen_bool_respects_extremes() {
         let mut rng = StdRng::seed_from_u64(3);
-        assert!(!(0..64).map(|_| rng.gen_bool(0.0)).any(|b| b));
-        assert!((0..64).map(|_| rng.gen_bool(1.0)).all(|b| b));
+        assert!(!(0..64).any(|_| rng.gen_bool(0.0)));
+        assert!((0..64).all(|_| rng.gen_bool(1.0)));
     }
 }
