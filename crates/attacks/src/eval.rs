@@ -205,6 +205,14 @@ pub fn evaluate_position(
     }
 
     let readout = mc.read_row(config.bank, target.victim).expect("victim address is in range");
+    mc.registry().trace(
+        obs::TraceKind::ReadCheck,
+        mc.now().as_ns(),
+        u32::from(config.bank.index()),
+        Some(victim_phys.index()),
+        &[("flips", readout.flip_count() as u64)],
+        if readout.is_clean() { "clean" } else { "flipped" },
+    );
     let mut hist: std::collections::BTreeMap<u32, u32> = std::collections::BTreeMap::new();
     for (_, k) in readout.flips_per_dataword() {
         *hist.entry(k).or_default() += 1;
@@ -254,9 +262,29 @@ pub fn sweep_bank_module(
         positions = positions.len() as u64,
         windows = config.windows as u64
     );
-    let results = positions
+    let results: Vec<PositionResult> = positions
         .into_iter()
-        .map(|victim| evaluate_position(&mut mc, pattern, config, victim))
+        .map(|victim| {
+            let result = evaluate_position(&mut mc, pattern, config, victim);
+            // Per-position verdict citing the victim-adjacent events
+            // (ACTs, TRR detections, the final read_check) as evidence.
+            if registry.tracing_enabled() {
+                let evidence = registry
+                    .recorder()
+                    .map(|r| r.evidence_for_row(victim.index(), 32))
+                    .unwrap_or_default();
+                registry.trace_with_evidence(
+                    obs::TraceKind::Verdict,
+                    mc.now().as_ns(),
+                    u32::from(config.bank.index()),
+                    Some(victim.index()),
+                    &[("flips", u64::from(result.flips))],
+                    if result.flips > 0 { "vulnerable" } else { "clean" },
+                    &evidence,
+                );
+            }
+            result
+        })
         .collect();
     span.finish(mc.now().as_ns());
     BankSweep {

@@ -5,7 +5,8 @@
 //!
 //! Usage: ablations [--rows N] [--samples N] [--threads N]
 //!                  [--faults none|mild|hostile] [--fault-seed N]
-//!                  [--metrics-out PATH]
+//!                  [--metrics-out PATH] [--trace-out PATH] [--trace-chrome PATH]
+//!                  [--trace-rows SPEC]
 
 use std::sync::Arc;
 
@@ -16,7 +17,8 @@ use dram_sim::{Bank, DataPattern, Module, RowAddr};
 use faults::FaultProfile;
 use obs::MetricsRegistry;
 use utrr_bench::{
-    arg_value, emit_metrics, fault_args, metrics_out_path, par_config, run_registry, threads_arg,
+    arg_value, emit_metrics, emit_trace, fault_args, install_trace, metrics_out_path, par_config,
+    run_registry, threads_arg, trace_args,
 };
 use utrr_modules::by_id;
 
@@ -184,7 +186,9 @@ fn main() {
     let samples: u32 = arg_value(&args, "--samples").and_then(|v| v.parse().ok()).unwrap_or(24);
     let metrics_path = metrics_out_path(&args);
     let faults = fault_args(&args);
+    let trace = trace_args(&args);
     let registry = run_registry();
+    install_trace(&registry, &trace);
     let pool = par_config(threads_arg(&args), &registry);
     let spec = by_id("A5").expect("catalog contains A5");
     println!("# Simulator design-choice ablations (module A5 unless noted)");
@@ -197,5 +201,6 @@ fn main() {
     ablate_dummy_pressure(&spec, samples, rows, &registry, &pool, faults);
     ablate_trr_presence(&spec, samples, rows, &registry, &pool, faults);
 
+    emit_trace(&registry, &trace).expect("trace artifact is writable");
     emit_metrics(&registry, metrics_path.as_deref()).expect("metrics artifact is writable");
 }

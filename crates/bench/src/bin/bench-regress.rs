@@ -1,0 +1,133 @@
+//! Perf-trajectory regression gate.
+//!
+//! Compares a fresh `utrr-bench/1` artifact (from `repro-table1
+//! --bench-out`) against the committed `BENCH_sweep.json` baseline and
+//! fails when any per-phase wall-clock or the `device_ns_per_act`
+//! micro-benchmark regressed past the threshold. Optionally appends the
+//! current record to `BENCH_history.jsonl` so the perf trajectory of
+//! the repo stays on file.
+//!
+//! Usage:
+//!   bench-regress --current PATH [--baseline PATH] [--threshold PCT]
+//!                 [--history PATH]
+//!
+//! The threshold (percent, default 15) can also come from the
+//! `UTRR_BENCH_THRESHOLD` environment variable; the explicit flag wins.
+//! Exits 1 on regression, 2 on malformed input, 0 otherwise.
+
+use obs::jsonl::{parse_json, JsonValue};
+use utrr_bench::arg_value;
+
+struct BenchRecord {
+    phases: Vec<(String, f64)>,
+    scalars: Vec<(String, f64)>,
+}
+
+fn load(path: &str) -> BenchRecord {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let value = parse_json(text.trim()).unwrap_or_else(|e| {
+        eprintln!("error: {path} is not valid JSON: {e}");
+        std::process::exit(2);
+    });
+    if value.get("schema").and_then(JsonValue::as_str) != Some("utrr-bench/1") {
+        eprintln!("error: {path} is not a utrr-bench/1 artifact");
+        std::process::exit(2);
+    }
+    let phases = value
+        .get("phases")
+        .and_then(JsonValue::as_array)
+        .map(|entries| {
+            entries
+                .iter()
+                .filter_map(|p| {
+                    Some((p.get("name")?.as_str()?.to_string(), p.get("wall_ms")?.as_f64()?))
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    let scalars = match value.get("scalars") {
+        Some(JsonValue::Obj(map)) => {
+            map.iter().filter_map(|(k, v)| Some((k.clone(), v.as_f64()?))).collect()
+        }
+        _ => Vec::new(),
+    };
+    BenchRecord { phases, scalars }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(current_path) = arg_value(&args, "--current") else {
+        eprintln!("usage: bench-regress --current PATH [--baseline PATH] [--threshold PCT] [--history PATH]");
+        std::process::exit(2);
+    };
+    let baseline_path =
+        arg_value(&args, "--baseline").unwrap_or_else(|| "BENCH_sweep.json".to_string());
+    let threshold: f64 = arg_value(&args, "--threshold")
+        .or_else(|| std::env::var("UTRR_BENCH_THRESHOLD").ok())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(15.0);
+
+    let baseline = load(&baseline_path);
+    let current = load(&current_path);
+
+    println!("# bench-regress — current {current_path} vs baseline {baseline_path} (threshold {threshold}%)");
+    let mut regressions = 0u32;
+    let mut compared = 0u32;
+    let mut compare = |name: &str, base: f64, cur: f64, unit: &str| {
+        compared += 1;
+        let delta_pct = if base > 0.0 { 100.0 * (cur - base) / base } else { 0.0 };
+        let verdict = if delta_pct > threshold {
+            regressions += 1;
+            "REGRESSED"
+        } else if delta_pct < -threshold {
+            "improved"
+        } else {
+            "ok"
+        };
+        println!(
+            "  {name:<24} {base:>12.3} -> {cur:>12.3} {unit:<5} {delta_pct:>+7.1}%  {verdict}"
+        );
+    };
+    for (name, base) in &baseline.phases {
+        match current.phases.iter().find(|(n, _)| n == name) {
+            Some((_, cur)) => compare(name, *base, *cur, "ms"),
+            None => println!("  {name:<24} missing from current run (skipped)"),
+        }
+    }
+    for (name, base) in &baseline.scalars {
+        match current.scalars.iter().find(|(n, _)| n == name) {
+            Some((_, cur)) => compare(name, *base, *cur, "ns"),
+            None => println!("  {name:<24} missing from current run (skipped)"),
+        }
+    }
+    if compared == 0 {
+        eprintln!("error: nothing to compare — baseline and current share no phases or scalars");
+        std::process::exit(2);
+    }
+
+    if let Some(history_path) = arg_value(&args, "--history") {
+        let line = std::fs::read_to_string(&current_path).expect("current artifact re-readable");
+        let mut record = String::from(line.trim());
+        record.push('\n');
+        use std::io::Write as _;
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&history_path)
+            .unwrap_or_else(|e| {
+                eprintln!("error: cannot open {history_path}: {e}");
+                std::process::exit(2);
+            });
+        file.write_all(record.as_bytes()).expect("history record appends");
+        println!("# appended record to {history_path}");
+    }
+
+    if regressions > 0 {
+        println!("# {regressions} regression(s) past {threshold}% — failing");
+        std::process::exit(1);
+    }
+    println!("# no regressions past {threshold}%");
+}

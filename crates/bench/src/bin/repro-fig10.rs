@@ -6,14 +6,15 @@
 //! Usage: repro-fig10 [--rows N] [--samples N] [--windows N]
 //!                    [--modules A5,...] [--ecc] [--threads N]
 //!                    [--faults none|mild|hostile] [--fault-seed N]
-//!                    [--metrics-out PATH]
+//!                    [--metrics-out PATH] [--trace-out PATH] [--trace-chrome PATH]
+//!                    [--trace-rows SPEC]
 
 use attacks::eval::EvalConfig;
 use ecc::{analyze_with_registry, CodeKind};
 use faults::FaultProfile;
 use utrr_bench::{
-    arg_flag, arg_value, attack_columns_par, emit_metrics, fault_args, metrics_out_path,
-    par_config, run_registry, threads_arg,
+    arg_flag, arg_value, attack_columns_par, emit_metrics, emit_trace, fault_args, install_trace,
+    metrics_out_path, par_config, run_registry, threads_arg, trace_args,
 };
 use utrr_modules::{catalog, ModuleSpec};
 
@@ -26,7 +27,9 @@ fn main() {
     let run_ecc = arg_flag(&args, "--ecc");
     let metrics_path = metrics_out_path(&args);
     let (fault_profile, fault_seed) = fault_args(&args);
+    let trace = trace_args(&args);
     let registry = run_registry();
+    install_trace(&registry, &trace);
     let pool = par_config(threads_arg(&args), &registry);
     let config = EvalConfig {
         sample_count: samples,
@@ -104,5 +107,6 @@ fn main() {
         println!("# only the 7-parity Reed-Solomon code protects every measured distribution.");
     }
 
+    emit_trace(&registry, &trace).expect("trace artifact is writable");
     emit_metrics(&registry, metrics_path.as_deref()).expect("metrics artifact is writable");
 }

@@ -7,13 +7,14 @@
 //!
 //! Usage: repro-fig8 [--rows N] [--samples N] [--windows N] [--threads N]
 //!                   [--faults none|mild|hostile] [--fault-seed N]
-//!                   [--metrics-out PATH]
+//!                   [--metrics-out PATH] [--trace-out PATH] [--trace-chrome PATH]
+//!                   [--trace-rows SPEC]
 
 use attacks::eval::EvalConfig;
 use faults::FaultProfile;
 use utrr_bench::{
-    arg_value, boxplot_line, emit_metrics, fault_args, fig8_sweep_par, metrics_out_path,
-    par_config, run_registry, threads_arg,
+    arg_value, boxplot_line, emit_metrics, emit_trace, fault_args, fig8_sweep_par, install_trace,
+    metrics_out_path, par_config, run_registry, threads_arg, trace_args,
 };
 use utrr_modules::fig8_modules;
 
@@ -24,7 +25,9 @@ fn main() {
     let windows: u32 = arg_value(&args, "--windows").and_then(|v| v.parse().ok()).unwrap_or(2);
     let metrics_path = metrics_out_path(&args);
     let (fault_profile, fault_seed) = fault_args(&args);
+    let trace = trace_args(&args);
     let registry = run_registry();
+    install_trace(&registry, &trace);
     let pool = par_config(threads_arg(&args), &registry);
     let config = EvalConfig {
         sample_count: samples,
@@ -74,5 +77,6 @@ fn main() {
         );
     }
 
+    emit_trace(&registry, &trace).expect("trace artifact is writable");
     emit_metrics(&registry, metrics_path.as_deref()).expect("metrics artifact is writable");
 }

@@ -4,13 +4,14 @@
 //!
 //! Usage: repro-fig9 [--rows N] [--samples N] [--windows N] [--modules A5,...]
 //!                   [--threads N] [--faults none|mild|hostile] [--fault-seed N]
-//!                   [--metrics-out PATH]
+//!                   [--metrics-out PATH] [--trace-out PATH] [--trace-chrome PATH]
+//!                   [--trace-rows SPEC]
 
 use attacks::eval::EvalConfig;
 use faults::FaultProfile;
 use utrr_bench::{
-    arg_value, attack_columns_par, emit_metrics, fault_args, metrics_out_path, par_config,
-    run_registry, threads_arg,
+    arg_value, attack_columns_par, emit_metrics, emit_trace, fault_args, install_trace,
+    metrics_out_path, par_config, run_registry, threads_arg, trace_args,
 };
 use utrr_modules::{catalog, ModuleSpec};
 
@@ -22,7 +23,9 @@ fn main() {
     let filter = arg_value(&args, "--modules");
     let metrics_path = metrics_out_path(&args);
     let (fault_profile, fault_seed) = fault_args(&args);
+    let trace = trace_args(&args);
     let registry = run_registry();
+    install_trace(&registry, &trace);
     let pool = par_config(threads_arg(&args), &registry);
     let config = EvalConfig {
         sample_count: samples,
@@ -76,5 +79,6 @@ fn main() {
         "# {fully_vulnerable}/{total} modules above 99% (paper: 21 of 45 above 99.9%); every module shows bit flips"
     );
 
+    emit_trace(&registry, &trace).expect("trace artifact is writable");
     emit_metrics(&registry, metrics_path.as_deref()).expect("metrics artifact is writable");
 }

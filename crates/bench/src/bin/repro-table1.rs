@@ -7,7 +7,8 @@
 //!   repro-table1 [--rows N] [--samples N] [--windows N] [--modules A5,B0,...]
 //!                [--per-module-re] [--attack-only] [--threads N]
 //!                [--faults none|mild|hostile] [--fault-seed N]
-//!                [--metrics-out PATH] [--bench-out PATH]
+//!                [--metrics-out PATH] [--bench-out PATH] [--trace-out PATH]
+//!                [--trace-chrome PATH] [--trace-rows SPEC]
 //!
 //! By default the reverse-engineering suite runs once per *TRR version*
 //! (modules sharing a version share their engine, so the findings are
@@ -27,9 +28,9 @@ use std::collections::HashMap;
 use attacks::eval::{BankSweep, EvalConfig};
 use faults::FaultProfile;
 use utrr_bench::{
-    arg_flag, arg_value, attack_columns, device_ns_per_act, emit_metrics, fault_args,
-    measure_hc_first_faulty, metrics_out_path, par_config, re_input_key,
-    reverse_engineer_module_faulty, run_registry, threads_arg, BenchPhases, ReOutcome,
+    arg_flag, arg_value, attack_columns, device_ns_per_act, emit_metrics, emit_trace, fault_args,
+    install_trace, measure_hc_first_faulty, metrics_out_path, par_config, re_input_key,
+    reverse_engineer_module_faulty, run_registry, threads_arg, trace_args, BenchPhases, ReOutcome,
 };
 use utrr_core::reverse::DetectionKind;
 use utrr_modules::{catalog, ModuleSpec};
@@ -61,8 +62,10 @@ fn main() {
     let metrics_path = metrics_out_path(&args);
     let bench_path = arg_value(&args, "--bench-out").map(std::path::PathBuf::from);
     let (fault_profile, fault_seed) = fault_args(&args);
+    let trace = trace_args(&args);
     let threads = threads_arg(&args);
     let registry = run_registry();
+    install_trace(&registry, &trace);
     let pool = par_config(threads, &registry);
     let mut bench = BenchPhases::new(threads);
 
@@ -200,5 +203,6 @@ fn main() {
         bench.write(path).expect("bench artifact is writable");
         eprintln!("bench artifact: {}", path.display());
     }
+    emit_trace(&registry, &trace).expect("trace artifact is writable");
     emit_metrics(&registry, metrics_path.as_deref()).expect("metrics artifact is writable");
 }

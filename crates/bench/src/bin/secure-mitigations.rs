@@ -10,6 +10,8 @@
 //! Usage: secure-mitigations [--rows N] [--samples N] [--para-prob P]
 //!                           [--threads N] [--faults none|mild|hostile]
 //!                           [--fault-seed N] [--metrics-out PATH]
+//!                           [--trace-out PATH] [--trace-chrome PATH]
+//!                           [--trace-rows SPEC]
 
 use attacks::baseline::DoubleSided;
 use attacks::custom;
@@ -18,7 +20,8 @@ use dram_sim::{MitigationEngine, Module};
 use faults::FaultProfile;
 use trr::{Graphene, GrapheneConfig, Para};
 use utrr_bench::{
-    arg_value, emit_metrics, fault_args, metrics_out_path, par_config, run_registry, threads_arg,
+    arg_value, emit_metrics, emit_trace, fault_args, install_trace, metrics_out_path, par_config,
+    run_registry, threads_arg, trace_args,
 };
 use utrr_modules::{by_id, ModuleSpec};
 
@@ -65,7 +68,9 @@ fn main() {
         arg_value(&args, "--para-prob").and_then(|v| v.parse().ok()).unwrap_or(0.001);
     let metrics_path = metrics_out_path(&args);
     let (fault_profile, fault_seed) = fault_args(&args);
+    let trace = trace_args(&args);
     let registry = run_registry();
+    install_trace(&registry, &trace);
     let pool = par_config(threads_arg(&args), &registry);
     let config = EvalConfig {
         sample_count: samples,
@@ -118,5 +123,6 @@ fn main() {
     println!("# Expected shape: the custom patterns defeat the vendor TRR but neither");
     println!("# PARA (nothing to divert) nor Graphene (deterministic counter bound).");
 
+    emit_trace(&registry, &trace).expect("trace artifact is writable");
     emit_metrics(&registry, metrics_path.as_deref()).expect("metrics artifact is writable");
 }

@@ -403,6 +403,85 @@ pub fn arg_flag(args: &[String], key: &str) -> bool {
     args.iter().any(|a| a == key)
 }
 
+/// Flight-recorder arguments shared by every repro binary:
+/// `--trace-out PATH` (JSONL, schema `utrr-trace/1`), `--trace-chrome
+/// PATH` (Chrome `trace_event` JSON for chrome://tracing / Perfetto),
+/// and `--trace-rows SPEC` (`all`, or a comma list of physical rows and
+/// inclusive `A-B` ranges restricting capture to those rows ±2).
+#[derive(Debug, Clone)]
+pub struct TraceArgs {
+    /// JSONL trace path, when requested.
+    pub jsonl_out: Option<std::path::PathBuf>,
+    /// Chrome `trace_event` JSON path, when requested.
+    pub chrome_out: Option<std::path::PathBuf>,
+    /// Row filter for captured events.
+    pub filter: obs::TraceFilter,
+}
+
+impl TraceArgs {
+    /// Whether any trace output was requested.
+    pub fn enabled(&self) -> bool {
+        self.jsonl_out.is_some() || self.chrome_out.is_some()
+    }
+}
+
+/// Parses the flight-recorder arguments. Exits with status 2 on an
+/// unparsable `--trace-rows` spec.
+pub fn trace_args(args: &[String]) -> TraceArgs {
+    let filter = match arg_value(args, "--trace-rows") {
+        Some(spec) => obs::TraceFilter::parse(&spec).unwrap_or_else(|e| {
+            eprintln!("error: --trace-rows: {e}");
+            std::process::exit(2);
+        }),
+        None => obs::TraceFilter::all(),
+    };
+    TraceArgs {
+        jsonl_out: arg_value(args, "--trace-out").map(std::path::PathBuf::from),
+        chrome_out: arg_value(args, "--trace-chrome").map(std::path::PathBuf::from),
+        filter,
+    }
+}
+
+/// Installs a flight recorder into `registry` when tracing was
+/// requested. With no trace output configured this does nothing at all
+/// — the recorder stays uninstalled and every `trace()` call remains a
+/// single relaxed atomic load, keeping untraced runs byte-identical.
+pub fn install_trace(registry: &std::sync::Arc<obs::MetricsRegistry>, trace: &TraceArgs) {
+    if trace.enabled() {
+        registry.install_recorder(std::sync::Arc::new(obs::FlightRecorder::new(
+            obs::DEFAULT_TRACE_CAPACITY,
+            trace.filter.clone(),
+        )));
+    }
+}
+
+/// End-of-run trace emission: writes the requested JSONL and/or Chrome
+/// artifacts from the installed recorder, logging each path to stderr.
+///
+/// # Errors
+///
+/// Propagates artifact I/O errors.
+pub fn emit_trace(registry: &obs::MetricsRegistry, trace: &TraceArgs) -> std::io::Result<()> {
+    let Some(recorder) = registry.recorder() else {
+        return Ok(());
+    };
+    let (events, dropped) = recorder.snapshot();
+    if let Some(path) = &trace.jsonl_out {
+        obs::trace::write_trace_jsonl_to_path(&events, dropped, path)?;
+        eprintln!(
+            "trace artifact: {} ({} events, {} dropped)",
+            path.display(),
+            events.len(),
+            dropped
+        );
+    }
+    if let Some(path) = &trace.chrome_out {
+        obs::trace::write_chrome_trace_to_path(&events, path)?;
+        eprintln!("chrome trace: {} ({} events)", path.display(), events.len());
+    }
+    Ok(())
+}
+
 /// Fault-injection arguments for a run: `--faults none|mild|hostile`
 /// (default `none`, the strict no-op path) and `--fault-seed N` (default
 /// 1). Shared by every repro binary. Exits with status 2 on an

@@ -161,6 +161,18 @@ pub enum VictimOutcome {
     TrrRefresh,
 }
 
+impl VictimOutcome {
+    /// Stable lower-snake-case name, used as the `read_check` trace
+    /// event detail and in report output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            VictimOutcome::NotRefreshed => "not_refreshed",
+            VictimOutcome::RegularRefresh => "regular_refresh",
+            VictimOutcome::TrrRefresh => "trr_refresh",
+        }
+    }
+}
+
 /// The result of one experiment iteration.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExperimentOutcome {
@@ -170,6 +182,10 @@ pub struct ExperimentOutcome {
     pub ref_start: u64,
     /// Global `REF` count after the last round.
     pub ref_end: u64,
+    /// Trace-event IDs of the per-victim `read_check` events backing
+    /// `victims` — the raw evidence a downstream verdict cites. Empty
+    /// when tracing is off or the victims fall outside the trace filter.
+    pub evidence: Vec<u64>,
 }
 
 impl ExperimentOutcome {
@@ -330,6 +346,7 @@ impl TrrAnalyzer {
         // injection: a single in-flight read flip must not turn a
         // refreshed victim into a "not refreshed" verdict).
         let mut victims = Vec::with_capacity(exp.victims.len());
+        let mut evidence = Vec::new();
         for &victim in &exp.victims {
             let clean = crate::robust::read_row_voted(mc, exp.bank, victim)?.is_clean();
             let outcome = if !clean {
@@ -340,9 +357,22 @@ impl TrrAnalyzer {
                     _ => VictimOutcome::TrrRefresh,
                 }
             };
+            if mc.registry().tracing_enabled() {
+                let registry = std::sync::Arc::clone(mc.registry());
+                if let Some(id) = registry.trace(
+                    obs::TraceKind::ReadCheck,
+                    mc.now().as_ns(),
+                    u32::from(exp.bank.index()),
+                    Some(mc.module().phys_of(victim).index()),
+                    &[("clean", u64::from(clean))],
+                    outcome.as_str(),
+                ) {
+                    evidence.push(id);
+                }
+            }
             victims.push(outcome);
         }
-        Ok(ExperimentOutcome { victims, ref_start, ref_end })
+        Ok(ExperimentOutcome { victims, ref_start, ref_end, evidence })
     }
 
     /// Verifies that `count` hammers per aggressor do **not** cause

@@ -72,9 +72,42 @@ impl Default for ReverseOptions {
     }
 }
 
+/// Most `read_check` / sub-verdict IDs a single verdict event cites:
+/// enough to walk a causal timeline, bounded so long discovery runs
+/// don't grow unbounded evidence lists.
+const EVIDENCE_CAP: usize = 64;
+
+/// Appends `ids` to `evidence` up to [`EVIDENCE_CAP`].
+fn push_evidence(evidence: &mut Vec<u64>, ids: &[u64]) {
+    let room = EVIDENCE_CAP.saturating_sub(evidence.len());
+    evidence.extend(ids.iter().take(room));
+}
+
+/// Emits a `verdict` trace event citing `evidence` (the `read_check`
+/// events, or sub-verdicts, it was concluded from). A no-op returning
+/// `None` when tracing is off.
+fn emit_verdict(
+    mc: &MemoryController,
+    bank: Bank,
+    detail: &str,
+    fields: &[(&str, u64)],
+    evidence: &[u64],
+) -> Option<u64> {
+    mc.registry().trace_with_evidence(
+        obs::TraceKind::Verdict,
+        mc.now().as_ns(),
+        u32::from(bank.index()),
+        None,
+        fields,
+        detail,
+        evidence,
+    )
+}
+
 /// Runs one iteration of the canonical detection experiment: hammer each
 /// group's aggressor, issue one `REF`, infer refreshes. Returns the
-/// per-group "TRR-refreshed" flags and the `REF` index consumed.
+/// per-group "TRR-refreshed" flags, the `REF` index consumed, and the
+/// iteration's `read_check` trace-event IDs (empty when tracing is off).
 fn detection_iteration(
     mc: &mut MemoryController,
     analyzer: &TrrAnalyzer,
@@ -82,7 +115,7 @@ fn detection_iteration(
     groups: &[ProfiledRowGroup],
     hammers: &[u64],
     refs: u64,
-) -> Result<(Vec<bool>, u64), UtrrError> {
+) -> Result<(Vec<bool>, u64, Vec<u64>), UtrrError> {
     let Some(retention) = groups.iter().map(|g| g.retention).min() else {
         return Err(UtrrError::EmptyInput);
     };
@@ -104,7 +137,7 @@ fn detection_iteration(
         flags.push(hit);
         idx += n;
     }
-    Ok((flags, outcome.ref_start))
+    Ok((flags, outcome.ref_start, outcome.evidence))
 }
 
 /// §6.1.1 / §6.2.1 / §6.3: which `REF` commands are TRR-capable.
@@ -126,16 +159,19 @@ pub fn discover_trr_ref_ratio(
     crate::analyzer::flush_tracker(mc, bank, &avoid, 32)?;
     let hammers = vec![opts.trigger_hammers; groups.len()];
     let mut hit_refs = Vec::new();
+    let mut evidence = Vec::new();
     // The slowest shipped ratio is 17 and pointer-walk observability can
     // be sparse, so give the search enough REFs for several TRR slots
     // regardless of the caller's budget.
     for _ in 0..opts.ratio_iterations.max(170) {
-        let (flags, ref_start) = detection_iteration(mc, analyzer, bank, groups, &hammers, 1)?;
+        let (flags, ref_start, ids) = detection_iteration(mc, analyzer, bank, groups, &hammers, 1)?;
         if flags.iter().any(|&f| f) {
             hit_refs.push(ref_start + 1);
+            push_evidence(&mut evidence, &ids);
         }
     }
     if hit_refs.len() < 3 {
+        emit_verdict(mc, bank, "trr_ref_ratio", &[("hits", hit_refs.len() as u64)], &evidence);
         return Ok(None);
     }
     // The very first hit may be a *deferred* TRR refresh left pending by
@@ -156,6 +192,13 @@ pub fn discover_trr_ref_ratio(
         }
         a
     });
+    emit_verdict(
+        mc,
+        bank,
+        "trr_ref_ratio",
+        &[("ratio", gcd), ("hits", (hit_refs.len() + 1) as u64)],
+        &evidence,
+    );
     Ok((gcd > 0).then_some(gcd))
 }
 
@@ -179,11 +222,23 @@ pub fn discover_neighbors_refreshed(
         .with_hammer(HammerSpec::single_sided(aggressor, opts.trigger_hammers))
         .with_refs(1);
     let mut max_refreshed = 0u32;
+    let mut evidence = Vec::new();
     for _ in 0..opts.ratio_iterations {
         let outcome = analyzer.run(mc, &exp)?;
         let refreshed = outcome.trr_victims().len() as u32;
+        if refreshed > max_refreshed {
+            evidence.clear();
+            push_evidence(&mut evidence, &outcome.evidence);
+        }
         max_refreshed = max_refreshed.max(refreshed);
     }
+    emit_verdict(
+        mc,
+        bank,
+        "neighbors_refreshed",
+        &[("count", u64::from(max_refreshed))],
+        &evidence,
+    );
     Ok(max_refreshed)
 }
 
@@ -212,6 +267,7 @@ pub fn discover_counter_capacity(
     // the TRR-capable-REF experiment first.)
     let block = (2 * trr_ref_ratio.max(1)) as u32;
     let mut capacity = 0;
+    let mut evidence = Vec::new();
     for n in 2..=groups.len() {
         // Stale counters from the previous sweep step would keep TREF_a
         // busy and stall coverage: reset the tracker (Requirement 4).
@@ -225,7 +281,10 @@ pub fn discover_counter_capacity(
             let boosted = (iter / block) as usize % n;
             let hammers: Vec<u64> =
                 (0..n).map(|i| opts.trigger_hammers + if i == boosted { 512 } else { 0 }).collect();
-            let (flags, _) = detection_iteration(mc, analyzer, bank, subset, &hammers, 1)?;
+            let (flags, _, ids) = detection_iteration(mc, analyzer, bank, subset, &hammers, 1)?;
+            if flags.iter().any(|&f| f) {
+                push_evidence(&mut evidence, &ids);
+            }
             for (c, f) in covered.iter_mut().zip(&flags) {
                 *c |= *f;
             }
@@ -239,6 +298,7 @@ pub fn discover_counter_capacity(
             break;
         }
     }
+    emit_verdict(mc, bank, "counter_capacity", &[("capacity", capacity as u64)], &evidence);
     Ok(capacity)
 }
 
@@ -262,13 +322,22 @@ pub fn discover_eviction_of_low_count_row(
     let mut hammers = vec![100u64; groups.len()];
     hammers[0] = 50;
     let mut weak_detected = false;
+    let mut evidence = Vec::new();
     for _ in 0..opts.long_iterations {
-        let (flags, _) = detection_iteration(mc, analyzer, bank, groups, &hammers, 1)?;
+        let (flags, _, ids) = detection_iteration(mc, analyzer, bank, groups, &hammers, 1)?;
+        push_evidence(&mut evidence, &ids);
         if flags[0] {
             weak_detected = true;
             break;
         }
     }
+    emit_verdict(
+        mc,
+        bank,
+        "eviction_of_low_count_row",
+        &[("always_evicted", u64::from(!weak_detected))],
+        &evidence,
+    );
     Ok(!weak_detected)
 }
 
@@ -293,8 +362,12 @@ pub fn discover_counter_reset(
     let hammers = vec![opts.trigger_hammers * 2 / 3, opts.trigger_hammers];
     let mut low = 0;
     let mut high = 0;
+    let mut evidence = Vec::new();
     for _ in 0..opts.long_iterations {
-        let (flags, _) = detection_iteration(mc, analyzer, bank, &groups[..], &hammers, 1)?;
+        let (flags, _, ids) = detection_iteration(mc, analyzer, bank, &groups[..], &hammers, 1)?;
+        if flags[0] || flags[1] {
+            push_evidence(&mut evidence, &ids);
+        }
         if flags[0] {
             low += 1;
         }
@@ -302,6 +375,13 @@ pub fn discover_counter_reset(
             high += 1;
         }
     }
+    emit_verdict(
+        mc,
+        bank,
+        "counter_reset",
+        &[("low", u64::from(low)), ("high", u64::from(high))],
+        &evidence,
+    );
     Ok((low, high))
 }
 
@@ -333,12 +413,15 @@ pub fn discover_table_persistence(
     let iterations = opts.long_iterations.max(640);
     let idle_exp = Experiment::on_group(bank, group).with_refs(1);
     let mut tail_hits = 0;
+    let mut evidence = Vec::new();
     for i in 0..iterations {
         let outcome = analyzer.run(mc, &idle_exp)?;
         if outcome.any_trr() && i >= iterations / 2 {
             tail_hits += 1;
+            push_evidence(&mut evidence, &outcome.evidence);
         }
     }
+    emit_verdict(mc, bank, "table_persistence", &[("tail_hits", u64::from(tail_hits))], &evidence);
     Ok(tail_hits)
 }
 
@@ -365,15 +448,24 @@ pub fn discover_last_hammered_bias(
     let hammers = vec![opts.trigger_hammers.max(second_hammers + 1), second_hammers];
     let mut second = 0u32;
     let mut total = 0u32;
+    let mut evidence = Vec::new();
     for _ in 0..opts.ratio_iterations {
-        let (flags, _) = detection_iteration(mc, analyzer, bank, &groups[..], &hammers, refs)?;
+        let (flags, _, ids) = detection_iteration(mc, analyzer, bank, &groups[..], &hammers, refs)?;
         if flags[0] || flags[1] {
             total += 1;
+            push_evidence(&mut evidence, &ids);
             if flags[1] && !flags[0] {
                 second += 1;
             }
         }
     }
+    emit_verdict(
+        mc,
+        bank,
+        "last_hammered_bias",
+        &[("second", u64::from(second)), ("total", u64::from(total))],
+        &evidence,
+    );
     Ok(if total == 0 { 0.0 } else { second as f64 / total as f64 })
 }
 
@@ -404,6 +496,7 @@ pub fn discover_cross_bank_sharing(
     let t_short = groups[short].retention;
     let t_long = groups[long].retention;
     let mut hits = [0u32; 2];
+    let mut evidence = Vec::new();
     for _ in 0..opts.ratio_iterations {
         for &v in &groups[long].victim_rows() {
             crate::robust::write_row_checked(mc, banks[long], v, &groups[long].pattern)?;
@@ -433,8 +526,20 @@ pub fn discover_cross_bank_sharing(
                 let regular = analyzer
                     .schedule(v)
                     .is_some_and(|schedule| schedule.covers(ref_start, ref_end));
-                if clean && !regular {
+                let trr = clean && !regular;
+                let id = mc.registry().trace(
+                    obs::TraceKind::ReadCheck,
+                    mc.now().as_ns(),
+                    u32::from(banks[i].index()),
+                    Some(mc.module().phys_of(v).index()),
+                    &[("clean", u64::from(clean))],
+                    if trr { "trr_refresh" } else { "no_trr" },
+                );
+                if trr {
                     trr_hit = true;
+                    if let Some(id) = id {
+                        push_evidence(&mut evidence, &[id]);
+                    }
                 }
             }
             if trr_hit {
@@ -446,6 +551,13 @@ pub fn discover_cross_bank_sharing(
         mc.wait_no_refresh((t_long - t_short) / 2);
         record(mc, long)?;
     }
+    emit_verdict(
+        mc,
+        banks[0],
+        "cross_bank_sharing",
+        &[("first", u64::from(hits[0])), ("second", u64::from(hits[1]))],
+        &evidence,
+    );
     Ok((hits[0], hits[1]))
 }
 
@@ -474,6 +586,7 @@ pub fn discover_act_window(
     let aggressor_hammers = 2_048u64;
     let iterations = opts.long_iterations.max(360);
     let faulty = mc.faults_enabled();
+    let mut evidence = Vec::new();
     for &filler in probes {
         let mut exp = Experiment::on_group(bank, group)
             .with_hammer(HammerSpec::single_sided(group.aggressors[0], aggressor_hammers))
@@ -492,9 +605,11 @@ pub fn discover_act_window(
             let threshold = (iterations / 50).max(1);
             let mut hits = 0u32;
             for _ in 0..iterations {
-                if analyzer.run(mc, &exp)?.any_trr() {
+                let outcome = analyzer.run(mc, &exp)?;
+                if outcome.any_trr() {
                     hits += 1;
                     if hits > threshold {
+                        push_evidence(&mut evidence, &outcome.evidence);
                         detected = true;
                         break;
                     }
@@ -502,16 +617,20 @@ pub fn discover_act_window(
             }
         } else {
             for _ in 0..iterations {
-                if analyzer.run(mc, &exp)?.any_trr() {
+                let outcome = analyzer.run(mc, &exp)?;
+                if outcome.any_trr() {
+                    push_evidence(&mut evidence, &outcome.evidence);
                     detected = true;
                     break;
                 }
             }
         }
         if !detected {
+            emit_verdict(mc, bank, "act_window", &[("window", filler)], &evidence);
             return Ok(Some(filler));
         }
     }
+    emit_verdict(mc, bank, "act_window", &[], &evidence);
     Ok(None)
 }
 
@@ -543,6 +662,10 @@ pub fn classify(
         crate::schedule::learn_group_schedules(mc, other_bank, other_group, &mut analyzer)?;
     }
     let analyzer = analyzer;
+
+    // Watermark the trace-id space so the final verdict can cite the
+    // per-discovery verdicts emitted below (and only those).
+    let verdict_mark = mc.registry().recorder().map_or(0, |r| r.next_id_hint());
 
     // Ratio discovery uses a small subset of groups: every profiled row
     // is activated at least twice per iteration (init write + readback),
@@ -627,6 +750,35 @@ pub fn classify(
         (DetectionKind::Sampler { shared_across_banks }, _) => !shared_across_banks,
         _ => true,
     };
+
+    // The final verdict cites the per-discovery verdicts as evidence:
+    // the explain tool walks detection → sub-verdicts → read_checks.
+    if let Some(recorder) = mc.registry().recorder() {
+        let sub_verdicts: Vec<u64> = recorder
+            .snapshot()
+            .0
+            .iter()
+            .filter(|e| e.kind == obs::TraceKind::Verdict && e.id >= verdict_mark)
+            .map(|e| e.id)
+            .take(EVIDENCE_CAP)
+            .collect();
+        let kind = match &detection {
+            DetectionKind::Counter { .. } => "detection:counter",
+            DetectionKind::Sampler { .. } => "detection:sampler",
+            DetectionKind::Window { .. } => "detection:window",
+        };
+        emit_verdict(
+            mc,
+            bank,
+            kind,
+            &[
+                ("ratio", ratio),
+                ("neighbors", u64::from(neighbors)),
+                ("per_bank", u64::from(per_bank)),
+            ],
+            &sub_verdicts,
+        );
+    }
 
     Ok(TrrProfile { trr_ref_ratio: ratio, neighbors_refreshed: neighbors, detection, per_bank })
 }

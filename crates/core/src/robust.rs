@@ -62,6 +62,14 @@ pub fn read_row_voted(
         return Ok(a);
     }
     registry.counter(CTR_READ_DISAGREEMENTS).inc();
+    registry.trace(
+        obs::TraceKind::Recovery,
+        mc.now().as_ns(),
+        u32::from(bank.index()),
+        Some(mc.module().phys_of(row).index()),
+        &[],
+        "read_disagreement",
+    );
     let mut votes: BTreeMap<u32, u8> = BTreeMap::new();
     for sample in [&a, &b, &c] {
         for &bit in sample.flipped_bits() {
@@ -104,9 +112,25 @@ pub fn write_row_checked(
         }
         if attempt + 1 < WRITE_ATTEMPTS {
             registry.counter(CTR_WRITE_RETRIES).inc();
+            registry.trace(
+                obs::TraceKind::Recovery,
+                mc.now().as_ns(),
+                u32::from(bank.index()),
+                Some(mc.module().phys_of(row).index()),
+                &[("attempt", u64::from(attempt + 1))],
+                "write_retry",
+            );
         }
     }
     registry.counter(CTR_WRITE_GIVEUPS).inc();
+    registry.trace(
+        obs::TraceKind::Recovery,
+        mc.now().as_ns(),
+        u32::from(bank.index()),
+        Some(mc.module().phys_of(row).index()),
+        &[("attempts", u64::from(WRITE_ATTEMPTS))],
+        "write_giveup",
+    );
     Ok(false)
 }
 

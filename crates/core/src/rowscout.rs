@@ -505,6 +505,7 @@ impl RowScout {
                             attempt += 1;
                             retries_spent += 1;
                             state.retries += 1;
+                            self.trace_retry(mc, &profiled, reason, attempt);
                             continue;
                         }
                         return Ok(Some(RowDiagnostics {
@@ -526,6 +527,7 @@ impl RowScout {
                             attempt += 1;
                             retries_spent += 1;
                             state.retries += 1;
+                            self.trace_retry(mc, &profiled, reason, attempt);
                             continue;
                         }
                         return Ok(Some(RowDiagnostics {
@@ -549,6 +551,24 @@ impl RowScout {
             }
         }
         Ok(None)
+    }
+
+    /// Flight-recorder event for one retried validation check.
+    fn trace_retry(
+        &self,
+        mc: &MemoryController,
+        profiled: &ProfiledRow,
+        reason: QuarantineReason,
+        attempt: u32,
+    ) {
+        mc.registry().trace(
+            obs::TraceKind::ScoutRetry,
+            mc.now().as_ns(),
+            u32::from(self.config.bank.index()),
+            Some(profiled.phys.index()),
+            &[("attempt", u64::from(attempt))],
+            &reason.to_string(),
+        );
     }
 
     /// One "must fail at T" validation check. With `track_flips`, also

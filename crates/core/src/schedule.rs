@@ -120,6 +120,14 @@ pub fn learn_row_schedule(
     for attempt in 0..attempts {
         if attempt > 0 {
             registry.counter(CTR_SCHEDULE_RETRIES).inc();
+            registry.trace(
+                obs::TraceKind::Recovery,
+                mc.now().as_ns(),
+                u32::from(bank.index()),
+                Some(mc.module().phys_of(probe).index()),
+                &[("attempt", attempt as u64)],
+                "schedule_retry",
+            );
         }
         match learn_row_schedule_once(mc, bank, probe, retention, pattern) {
             Ok(schedule) => {

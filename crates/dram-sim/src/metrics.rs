@@ -9,7 +9,7 @@
 
 use std::sync::Arc;
 
-use obs::{Counter, Histogram, MetricsRegistry};
+use obs::{Counter, Histogram, MetricsRegistry, TraceKind};
 
 use crate::stats::ModuleStats;
 
@@ -126,6 +126,27 @@ impl DeviceMetrics {
     #[inline]
     pub fn event(&self, kind: &str, t_sim: u64, fields: &[(&str, u64)]) {
         self.registry.event(kind, t_sim, fields);
+    }
+
+    /// Whether a flight recorder is attached (one relaxed load).
+    #[inline]
+    pub fn tracing(&self) -> bool {
+        self.registry.tracing_enabled()
+    }
+
+    /// Emits a flight-recorder trace event (no-op unless tracing is
+    /// on; see [`MetricsRegistry::trace`]).
+    #[inline]
+    pub fn trace(
+        &self,
+        kind: TraceKind,
+        t_sim: u64,
+        bank: u32,
+        row: Option<u32>,
+        fields: &[(&str, u64)],
+        detail: &str,
+    ) -> Option<u64> {
+        self.registry.trace(kind, t_sim, bank, row, fields, detail)
     }
 
     /// The classic [`ModuleStats`] view over this device's counters.

@@ -36,6 +36,7 @@ use crate::mitigation::{MitigationEngine, NoMitigation, TrrDetection};
 use crate::physics::{window_flips, PhysicsConfig, RowPhysics, RowPhysicsView};
 use crate::stats::ModuleStats;
 use crate::time::{Nanos, Timings};
+use obs::TraceKind;
 
 /// Time cost of streaming a full row through the column interface.
 const ROW_IO: Nanos = Nanos::from_ns(500);
@@ -305,6 +306,14 @@ impl Module {
         if self.metrics.detail() {
             self.metrics.act_ns.record(self.config.timings.t_ras.as_ns());
         }
+        self.metrics.trace(
+            TraceKind::Act,
+            self.now.as_ns(),
+            bank.index() as u32,
+            Some(phys.index()),
+            &[("count", 1)],
+            "",
+        );
         self.now += self.config.timings.t_ras;
         Ok(())
     }
@@ -439,6 +448,14 @@ impl Module {
             // One O(1) update for the whole batch.
             self.metrics.act_ns.record_n(self.config.timings.t_rc().as_ns(), count);
         }
+        self.metrics.trace(
+            TraceKind::Act,
+            self.now.as_ns(),
+            bank.index() as u32,
+            Some(phys.index()),
+            &[("count", count)],
+            "",
+        );
         self.now += self.config.timings.t_rc() * count;
         Ok(())
     }
@@ -542,6 +559,26 @@ impl Module {
         if self.metrics.detail() {
             self.metrics.act_ns.record_n(self.config.timings.t_rc().as_ns(), 2 * pairs);
         }
+        if self.metrics.tracing() {
+            let t = self.now.as_ns();
+            let b = bank.index() as u32;
+            self.metrics.trace(
+                TraceKind::Act,
+                t,
+                b,
+                Some(p1.index()),
+                &[("count", pairs), ("interleaved", 1)],
+                "",
+            );
+            self.metrics.trace(
+                TraceKind::Act,
+                t,
+                b,
+                Some(p2.index()),
+                &[("count", pairs), ("interleaved", 1)],
+                "",
+            );
+        }
         self.now += self.config.timings.t_rc() * (2 * pairs);
         Ok(())
     }
@@ -572,6 +609,25 @@ impl Module {
         self.metrics.refresh.inc();
         if self.metrics.detail() {
             self.metrics.ref_ns.record(self.config.timings.t_rfc.as_ns());
+        }
+        if self.metrics.tracing() {
+            // Pre-gate on the tracked row set: a full tREFW is ~8k REFs,
+            // and only the handful whose round-robin window sweeps past
+            // a tracked row matter to the causal timeline.
+            let swept = self.metrics.registry().recorder().is_some_and(|recorder| {
+                let filter = recorder.filter();
+                filter.tracks_all() || (start..end).any(|r| filter.admits(Some((r % rows) as u32)))
+            });
+            if swept {
+                self.metrics.trace(
+                    TraceKind::Ref,
+                    self.now.as_ns(),
+                    0,
+                    None,
+                    &[("ref_index", k), ("sweep_start", start % rows), ("sweep_rows", end - start)],
+                    "",
+                );
+            }
         }
         self.now += self.config.timings.t_rfc;
     }
@@ -715,6 +771,14 @@ impl Module {
                     ("flips", new_flips),
                 ],
             );
+            self.metrics.trace(
+                TraceKind::BitFlip,
+                now.as_ns(),
+                bank.index() as u32,
+                Some(phys.index()),
+                &[("flips", new_flips)],
+                "",
+            );
         }
     }
 
@@ -747,6 +811,14 @@ impl Module {
                     ("span", det.span.per_side() as u64),
                 ],
             );
+            self.metrics.trace(
+                TraceKind::TrrDetect,
+                self.now.as_ns(),
+                det.bank.index() as u32,
+                Some(det.aggressor.index()),
+                &[("span", det.span.per_side() as u64)],
+                "",
+            );
             let victims = self.config.topology.trr_victims(
                 det.aggressor,
                 self.config.geometry.rows_per_bank,
@@ -757,6 +829,14 @@ impl Module {
                     self.metrics.trr_row_refreshes.inc();
                 }
                 self.disturb_from(det.bank, victim, 1.0);
+                self.metrics.trace(
+                    TraceKind::TrrRefresh,
+                    self.now.as_ns(),
+                    det.bank.index() as u32,
+                    Some(victim.index()),
+                    &[("aggressor", det.aggressor.index() as u64)],
+                    "",
+                );
             }
         }
     }

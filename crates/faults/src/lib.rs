@@ -286,6 +286,31 @@ impl FaultPlan {
         }
     }
 
+    /// Flight-recorder event for one injected fault. The row is logical
+    /// (the injector sits on the command interface, before the device's
+    /// physical remap), so it rides in `fields` rather than the
+    /// physical-row coordinate.
+    fn trace_injected(&self, kind: &str, bank: Bank, row: Option<RowAddr>, now: Nanos) {
+        if let Some(registry) = &self.registry {
+            let mut fields: [(&str, u64); 1] = [("logical_row", 0)];
+            let fields = match row {
+                Some(row) => {
+                    fields[0].1 = u64::from(row.index());
+                    &fields[..]
+                }
+                None => &fields[..0],
+            };
+            registry.trace(
+                obs::TraceKind::FaultInjected,
+                now.as_ns(),
+                u32::from(bank.index()),
+                None,
+                fields,
+                kind,
+            );
+        }
+    }
+
     /// A pattern observably different from `requested` for garbling.
     fn garble_pattern(requested: &DataPattern) -> DataPattern {
         match requested {
@@ -296,11 +321,12 @@ impl FaultPlan {
 }
 
 impl FaultInjector for FaultPlan {
-    fn on_read(&mut self, _bank: Bank, _row: RowAddr, readout: &mut RowReadout, _now: Nanos) {
+    fn on_read(&mut self, bank: Bank, row: RowAddr, readout: &mut RowReadout, now: Nanos) {
         if self.rng.next_bool(self.cfg.stuck_read_prob) {
             readout.clear_flips();
             self.tally.stuck_reads += 1;
             self.bump(CTR_STUCK_READS);
+            self.trace_injected("stuck_read", bank, Some(row), now);
             return;
         }
         if self.rng.next_bool(self.cfg.read_flip_prob) {
@@ -311,24 +337,27 @@ impl FaultInjector for FaultPlan {
             }
             self.tally.read_flips += 1;
             self.bump(CTR_READ_FLIPS);
+            self.trace_injected("read_flip", bank, Some(row), now);
         }
     }
 
     fn on_write(
         &mut self,
-        _bank: Bank,
-        _row: RowAddr,
+        bank: Bank,
+        row: RowAddr,
         pattern: &DataPattern,
-        _now: Nanos,
+        now: Nanos,
     ) -> WriteFault {
         if self.rng.next_bool(self.cfg.dropped_write_prob) {
             self.tally.dropped_writes += 1;
             self.bump(CTR_DROPPED_WRITES);
+            self.trace_injected("dropped_write", bank, Some(row), now);
             return WriteFault::Dropped;
         }
         if self.rng.next_bool(self.cfg.garbled_write_prob) {
             self.tally.garbled_writes += 1;
             self.bump(CTR_GARBLED_WRITES);
+            self.trace_injected("garbled_write", bank, Some(row), now);
             return WriteFault::Garbled(Self::garble_pattern(pattern));
         }
         WriteFault::None
@@ -352,6 +381,7 @@ impl FaultInjector for FaultPlan {
                     module.set_vrt_switch_override(Some(self.cfg.vrt_burst_switch_prob));
                     self.tally.vrt_bursts += 1;
                     self.bump(CTR_VRT_BURSTS);
+                    self.trace_injected("vrt_burst", Bank::new(0), None, now);
                 }
             }
         }

@@ -16,6 +16,10 @@
 //! - **Events**: rare, high-value moments (a bit flip with its
 //!   bank/row/bit coordinates, a TRR detection) timestamped in
 //!   simulated time.
+//! - **Flight recorder** ([`FlightRecorder`], [`trace`]): an opt-in,
+//!   row-filterable ring of causal trace events with verdict
+//!   provenance, exported as `utrr-trace/1` JSONL or Chrome
+//!   `trace_event` JSON.
 //!
 //! [`jsonl::write_jsonl`] serialises all of the above as one JSON
 //! object per line — diffable across runs and parseable without serde
@@ -29,12 +33,16 @@ pub mod jsonl;
 pub mod metrics;
 pub mod report;
 pub mod span;
+pub mod trace;
 
 pub use metrics::{
     bin_index, bin_lower_bound, bin_upper_bound, Counter, EventRecord, Gauge, Histogram,
     HistogramSnapshot, MetricsRegistry, BIN_COUNT,
 };
 pub use span::{SpanGuard, SpanRecord};
+pub use trace::{
+    FlightRecorder, TraceEvent, TraceFilter, TraceKind, DEFAULT_TRACE_CAPACITY, TRACE_SCHEMA,
+};
 
 /// Opens a span on a registry: `span!(reg, "name", sim_now, key = val, …)`.
 ///

@@ -7,9 +7,10 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::span::{SpanCollector, SpanGuard, SpanRecord};
+use crate::trace::{FlightRecorder, TraceKind};
 
 /// Number of histogram bins: bin 0 holds zeros, bin `b ≥ 1` holds
 /// values in `[2^(b-1), 2^b)`, up to bin 64 for the top of the u64
@@ -198,7 +199,16 @@ impl HistogramSnapshot {
         if self.count == 0 {
             return None;
         }
-        let q = q.clamp(0.0, 1.0);
+        // The extremes are known exactly — q=0 must be the observed
+        // min (rank clamping below would otherwise land it in the
+        // first non-empty bin's *upper* bound) and q=1 the observed
+        // max.
+        if q <= 0.0 {
+            return Some(self.min);
+        }
+        if q >= 1.0 {
+            return Some(self.max);
+        }
         // The rank of the target observation, 1-based.
         let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut seen = 0u64;
@@ -265,6 +275,8 @@ pub struct MetricsRegistry {
     events: Mutex<EventBuffer>,
     spans: SpanCollector,
     detail: AtomicBool,
+    recorder: OnceLock<Arc<FlightRecorder>>,
+    tracing: AtomicBool,
 }
 
 impl MetricsRegistry {
@@ -332,6 +344,68 @@ impl MetricsRegistry {
             kind: kind.to_string(),
             fields: fields.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
         });
+    }
+
+    /// Installs a flight recorder and arms the tracing fast-gate.
+    /// Returns `false` (leaving the existing recorder in place) if one
+    /// was already installed.
+    pub fn install_recorder(&self, recorder: Arc<FlightRecorder>) -> bool {
+        let installed = self.recorder.set(recorder).is_ok();
+        if installed {
+            self.tracing.store(true, Ordering::Relaxed);
+        }
+        installed
+    }
+
+    /// Whether a flight recorder is installed. The hot-path gate: one
+    /// relaxed load, false for every run without `--trace-out`, so
+    /// tracing-off is a no-op.
+    #[inline]
+    pub fn tracing_enabled(&self) -> bool {
+        self.tracing.load(Ordering::Relaxed)
+    }
+
+    /// The installed flight recorder, if any.
+    pub fn recorder(&self) -> Option<&Arc<FlightRecorder>> {
+        self.recorder.get()
+    }
+
+    /// Records a trace event (see [`FlightRecorder::record`]); returns
+    /// the event ID, or `None` when tracing is off or the row filter
+    /// rejects it.
+    #[inline]
+    pub fn trace(
+        &self,
+        kind: TraceKind,
+        t_sim: u64,
+        bank: u32,
+        row: Option<u32>,
+        fields: &[(&str, u64)],
+        detail: &str,
+    ) -> Option<u64> {
+        if !self.tracing_enabled() {
+            return None;
+        }
+        self.recorder.get()?.record(kind, t_sim, bank, row, fields, detail)
+    }
+
+    /// [`MetricsRegistry::trace`] plus evidence links.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub fn trace_with_evidence(
+        &self,
+        kind: TraceKind,
+        t_sim: u64,
+        bank: u32,
+        row: Option<u32>,
+        fields: &[(&str, u64)],
+        detail: &str,
+        evidence: &[u64],
+    ) -> Option<u64> {
+        if !self.tracing_enabled() {
+            return None;
+        }
+        self.recorder.get()?.record_with_evidence(kind, t_sim, bank, row, fields, detail, evidence)
     }
 
     /// Opens a span named `name` at simulated time `sim_now`; the
@@ -412,6 +486,76 @@ mod tests {
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].kind, "dram.bit_flip");
         assert_eq!(events[0].fields[1], ("row".to_string(), 42));
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_none() {
+        let snapshot = HistogramSnapshot::default();
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(snapshot.quantile(q), None);
+        }
+    }
+
+    #[test]
+    fn quantile_extremes_return_observed_min_and_max() {
+        let h = Histogram::default();
+        // All mass inside one log₂ bin ([64, 128)), min != max.
+        h.record(70);
+        h.record(100);
+        h.record(120);
+        let snapshot = h.snapshot();
+        assert_eq!(snapshot.quantile(0.0), Some(70));
+        assert_eq!(snapshot.quantile(1.0), Some(120));
+        assert_eq!(snapshot.quantile(-0.5), Some(70));
+        assert_eq!(snapshot.quantile(2.0), Some(120));
+        // Interior quantiles stay within [min, max] for single-bin mass.
+        let p50 = snapshot.quantile(0.5).unwrap();
+        assert!((70..=120).contains(&p50), "p50={p50}");
+    }
+
+    #[test]
+    fn quantile_single_observation_is_that_observation() {
+        let h = Histogram::default();
+        h.record(42);
+        let snapshot = h.snapshot();
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(snapshot.quantile(q), Some(42), "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q() {
+        let h = Histogram::default();
+        for v in [0u64, 1, 3, 9, 100, 5_000, 1 << 40] {
+            h.record(v);
+        }
+        let snapshot = h.snapshot();
+        let mut last = 0u64;
+        for i in 0..=100 {
+            let q = f64::from(i) / 100.0;
+            let value = snapshot.quantile(q).unwrap();
+            assert!(value >= last, "quantile not monotone at q={q}");
+            last = value;
+        }
+        assert_eq!(snapshot.quantile(0.0), Some(0));
+        assert_eq!(snapshot.quantile(1.0), Some(1 << 40));
+    }
+
+    #[test]
+    fn tracing_is_off_until_a_recorder_is_installed() {
+        use crate::trace::{FlightRecorder, TraceFilter, TraceKind};
+        let registry = MetricsRegistry::new();
+        assert!(!registry.tracing_enabled());
+        assert_eq!(registry.trace(TraceKind::Act, 0, 0, Some(1), &[], ""), None);
+        let recorder = Arc::new(FlightRecorder::new(16, TraceFilter::all()));
+        assert!(registry.install_recorder(Arc::clone(&recorder)));
+        assert!(registry.tracing_enabled());
+        assert_eq!(registry.trace(TraceKind::Act, 5, 0, Some(1), &[("n", 2)], ""), Some(1));
+        assert_eq!(recorder.len(), 1);
+        // Second install is rejected; first recorder keeps receiving.
+        assert!(!registry.install_recorder(Arc::new(FlightRecorder::unfiltered())));
+        registry.trace(TraceKind::Ref, 6, 0, None, &[], "");
+        assert_eq!(recorder.len(), 2);
     }
 
     #[test]

@@ -101,6 +101,32 @@ pub fn render_summary(registry: &MetricsRegistry) -> String {
         }
     }
 
+    // Fault-injection vs recovery, paired in one place: the injected.*
+    // counters say what the fault layer did to the run, the recovery
+    // counters say what the robustness layers absorbed. Both already
+    // appear in the raw counter list, but only side by side does the
+    // balance read at a glance.
+    let injected: Vec<_> =
+        counters.iter().filter(|(name, _)| name.starts_with("faults.injected.")).collect();
+    let recovery: Vec<_> = counters
+        .iter()
+        .filter(|(name, _)| {
+            name.starts_with("utrr.robust.")
+                || name == "utrr.rowscout.retries"
+                || name == "utrr.rowscout.quarantined"
+                || name == "utrr.schedule.retries"
+        })
+        .collect();
+    if injected.iter().any(|(_, v)| *v > 0) || recovery.iter().any(|(_, v)| *v > 0) {
+        let _ = writeln!(out, "faults (injected vs recovered)");
+        for (name, value) in &injected {
+            let _ = writeln!(out, "  inject   {name:<name_width$} {value:>14}");
+        }
+        for (name, value) in &recovery {
+            let _ = writeln!(out, "  recover  {name:<name_width$} {value:>14}");
+        }
+    }
+
     if !events.is_empty() || dropped > 0 {
         let mut by_kind: BTreeMap<&str, u64> = BTreeMap::new();
         for event in &events {
@@ -125,6 +151,29 @@ mod tests {
     #[test]
     fn empty_registry_renders_placeholder() {
         assert_eq!(render_summary(&MetricsRegistry::new()), "metrics: (none recorded)\n");
+    }
+
+    #[test]
+    fn fault_and_recovery_counters_get_a_paired_section() {
+        let registry = MetricsRegistry::new();
+        registry.counter("faults.injected.total").add(7);
+        registry.counter("faults.injected.read_flips").add(4);
+        registry.counter("utrr.robust.read_disagreements").add(3);
+        registry.counter("utrr.schedule.retries").add(1);
+        let summary = render_summary(&registry);
+        assert!(summary.contains("faults (injected vs recovered)"), "missing section:\n{summary}");
+        assert!(summary.contains("inject   faults.injected.read_flips"), "{summary}");
+        assert!(summary.contains("recover  utrr.robust.read_disagreements"), "{summary}");
+        assert!(summary.contains("recover  utrr.schedule.retries"), "{summary}");
+    }
+
+    #[test]
+    fn fault_section_absent_when_all_zero() {
+        let registry = MetricsRegistry::new();
+        registry.counter("faults.injected.total");
+        registry.counter("dram.cmd.act").add(1);
+        let summary = render_summary(&registry);
+        assert!(!summary.contains("faults (injected vs recovered)"), "{summary}");
     }
 
     #[test]

@@ -353,6 +353,14 @@ impl MemoryController {
         if dummies.is_empty() {
             return Ok(());
         }
+        self.module.registry().trace(
+            obs::TraceKind::TrrReset,
+            self.module.now().as_ns(),
+            bank.index() as u32,
+            None,
+            &[("dummies", dummies.len() as u64), ("periods", u64::from(periods))],
+            "reset storm",
+        );
         let timings = self.module.timings();
         let refs_per_period = timings.refs_per_64ms();
         let budget = timings.max_hammers_per_refi();

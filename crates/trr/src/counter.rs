@@ -86,11 +86,11 @@ impl BankTable {
 
     /// Records `count` back-to-back activations of `row`: exactly
     /// equivalent to `count` single activations (the first may insert by
-    /// LRU eviction; the rest increment). Returns whether the insertion
-    /// displaced an existing entry.
-    fn add(&mut self, row: PhysRow, count: u64) -> bool {
+    /// LRU eviction; the rest increment). Returns the entry the
+    /// insertion displaced, if any.
+    fn add(&mut self, row: PhysRow, count: u64) -> Option<PhysRow> {
         if count == 0 {
-            return false;
+            return None;
         }
         self.seq += count;
         let seq = self.seq;
@@ -98,10 +98,10 @@ impl BankTable {
             let entry = self.slots[i].as_mut().expect("position() found it");
             entry.count += count;
             entry.last_used = seq;
-            return false;
+            return None;
         }
         let slot = self.free_or_lru_slot();
-        let evicted = self.slots[slot].is_some();
+        let evicted = self.slots[slot].map(|e| e.row);
         self.slots[slot] = Some(Entry { row, count, last_used: seq });
         evicted
     }
@@ -178,6 +178,8 @@ pub struct CounterTrr {
     det_ctr: Option<obs::Counter>,
     /// `trr.<name>.evictions` — table entries displaced by LRU insertion.
     evict_ctr: Option<obs::Counter>,
+    /// The attached registry, for flight-recorder eviction events.
+    registry: Option<std::sync::Arc<obs::MetricsRegistry>>,
 }
 
 impl CounterTrr {
@@ -197,6 +199,22 @@ impl CounterTrr {
             next_is_tref_a: true,
             det_ctr: None,
             evict_ctr: None,
+            registry: None,
+        }
+    }
+
+    /// Flight-recorder event for one LRU eviction: `evicted` lost its
+    /// slot to `inserted`.
+    fn trace_eviction(&self, bank: Bank, evicted: PhysRow, inserted: PhysRow, now: Nanos) {
+        if let Some(registry) = &self.registry {
+            registry.trace(
+                obs::TraceKind::TrrEvict,
+                now.as_ns(),
+                bank.index() as u32,
+                Some(evicted.index()),
+                &[("inserted", inserted.index() as u64)],
+                "",
+            );
         }
     }
 
@@ -233,11 +251,12 @@ impl fmt::Debug for CounterTrr {
 }
 
 impl MitigationEngine for CounterTrr {
-    fn on_activations(&mut self, bank: Bank, row: PhysRow, count: u64, _now: Nanos) {
-        if self.banks[bank.index() as usize].add(row, count) {
+    fn on_activations(&mut self, bank: Bank, row: PhysRow, count: u64, now: Nanos) {
+        if let Some(evicted) = self.banks[bank.index() as usize].add(row, count) {
             if let Some(c) = &self.evict_ctr {
                 c.inc();
             }
+            self.trace_eviction(bank, evicted, row, now);
         }
     }
 
@@ -247,7 +266,7 @@ impl MitigationEngine for CounterTrr {
         first: PhysRow,
         second: PhysRow,
         pairs: u64,
-        _now: Nanos,
+        now: Nanos,
     ) {
         if pairs == 0 {
             return;
@@ -259,16 +278,23 @@ impl MitigationEngine for CounterTrr {
         // remaining activations are pure increments; only the final
         // recency order matters, with `second` activated last.
         let table = &mut self.banks[bank.index() as usize];
-        let mut evictions = 0u64;
-        evictions += u64::from(table.add(first, 1));
-        evictions += u64::from(table.add(second, 1));
+        let mut evicted = [None, None, None, None];
+        evicted[0] = table.add(first, 1);
+        evicted[1] = table.add(second, 1);
         if pairs > 1 {
-            evictions += u64::from(table.add(first, pairs - 1));
-            evictions += u64::from(table.add(second, pairs - 1));
+            evicted[2] = table.add(first, pairs - 1);
+            evicted[3] = table.add(second, pairs - 1);
         }
+        let evictions = evicted.iter().flatten().count() as u64;
         if evictions > 0 {
             if let Some(c) = &self.evict_ctr {
                 c.add(evictions);
+            }
+            for (i, row) in evicted.iter().enumerate() {
+                if let Some(row) = row {
+                    let inserted = if i % 2 == 0 { first } else { second };
+                    self.trace_eviction(bank, *row, inserted, now);
+                }
             }
         }
     }
@@ -299,6 +325,7 @@ impl MitigationEngine for CounterTrr {
     fn attach_metrics(&mut self, registry: &std::sync::Arc<obs::MetricsRegistry>) {
         self.det_ctr = Some(registry.counter(&format!("trr.{}.detections", self.name)));
         self.evict_ctr = Some(registry.counter(&format!("trr.{}.evictions", self.name)));
+        self.registry = Some(std::sync::Arc::clone(registry));
     }
 
     fn reset(&mut self) {

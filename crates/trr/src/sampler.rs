@@ -103,6 +103,8 @@ pub struct SamplerTrr {
     det_ctr: Option<obs::Counter>,
     /// `trr.<name>.samples` — register overwrites by sampled `ACT`s.
     sample_ctr: Option<obs::Counter>,
+    /// The attached registry, for flight-recorder sample events.
+    registry: Option<std::sync::Arc<obs::MetricsRegistry>>,
 }
 
 impl SamplerTrr {
@@ -118,6 +120,21 @@ impl SamplerTrr {
             seed,
             det_ctr: None,
             sample_ctr: None,
+            registry: None,
+        }
+    }
+
+    /// Flight-recorder event for one register overwrite.
+    fn trace_sample(&self, bank: Bank, row: PhysRow, now: Nanos) {
+        if let Some(registry) = &self.registry {
+            registry.trace(
+                obs::TraceKind::TrrSample,
+                now.as_ns(),
+                bank.index() as u32,
+                Some(row.index()),
+                &[],
+                "",
+            );
         }
     }
 
@@ -166,7 +183,7 @@ impl fmt::Debug for SamplerTrr {
 }
 
 impl MitigationEngine for SamplerTrr {
-    fn on_activations(&mut self, bank: Bank, row: PhysRow, count: u64, _now: Nanos) {
+    fn on_activations(&mut self, bank: Bank, row: PhysRow, count: u64, now: Nanos) {
         if count == 0 {
             return;
         }
@@ -180,6 +197,7 @@ impl MitigationEngine for SamplerTrr {
             if let Some(c) = &self.sample_ctr {
                 c.inc();
             }
+            self.trace_sample(bank, row, now);
         }
     }
 
@@ -200,7 +218,6 @@ impl MitigationEngine for SamplerTrr {
         // activation decides, and counting from the tail the odd
         // positions are `second`: P(second | sampled) = p·Σ q^(2j) over
         // the geometric tail = 1 / (1 + q), independent of length.
-        let _ = now;
         let q = 1.0 - self.config.sample_prob;
         let any = 1.0 - q.powi((2 * pairs).min(i32::MAX as u64) as i32);
         if self.rng.next_f64() < any {
@@ -210,6 +227,7 @@ impl MitigationEngine for SamplerTrr {
             if let Some(c) = &self.sample_ctr {
                 c.inc();
             }
+            self.trace_sample(bank, row, now);
         }
     }
 
@@ -236,6 +254,7 @@ impl MitigationEngine for SamplerTrr {
     fn attach_metrics(&mut self, registry: &std::sync::Arc<obs::MetricsRegistry>) {
         self.det_ctr = Some(registry.counter(&format!("trr.{}.detections", self.name)));
         self.sample_ctr = Some(registry.counter(&format!("trr.{}.samples", self.name)));
+        self.registry = Some(std::sync::Arc::clone(registry));
     }
 
     fn reset(&mut self) {
