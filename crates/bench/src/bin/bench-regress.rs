@@ -9,14 +9,21 @@
 //!
 //! Usage:
 //!   bench-regress --current PATH [--baseline PATH] [--threshold PCT]
-//!                 [--history PATH]
+//!                 [--history PATH] [--update-baseline]
 //!
 //! The threshold (percent, default 15) can also come from the
 //! `UTRR_BENCH_THRESHOLD` environment variable; the explicit flag wins.
+//! Phases or scalars present on only one side are reported as warnings
+//! in both directions — a renamed or dropped measurement never slips
+//! through silently. `--update-baseline` accepts the current run as the
+//! new baseline: it rewrites the baseline file with the current artifact
+//! and appends the record to the history (default `BENCH_history.jsonl`)
+//! in one step, and never fails on regressions (the comparison is still
+//! printed for the record).
 //! Exits 1 on regression, 2 on malformed input, 0 otherwise.
 
 use obs::jsonl::{parse_json, JsonValue};
-use utrr_bench::arg_value;
+use utrr_bench::{arg_flag, arg_value};
 
 struct BenchRecord {
     phases: Vec<(String, f64)>,
@@ -60,9 +67,10 @@ fn load(path: &str) -> BenchRecord {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(current_path) = arg_value(&args, "--current") else {
-        eprintln!("usage: bench-regress --current PATH [--baseline PATH] [--threshold PCT] [--history PATH]");
+        eprintln!("usage: bench-regress --current PATH [--baseline PATH] [--threshold PCT] [--history PATH] [--update-baseline]");
         std::process::exit(2);
     };
+    let update_baseline = arg_flag(&args, "--update-baseline");
     let baseline_path =
         arg_value(&args, "--baseline").unwrap_or_else(|| "BENCH_sweep.json".to_string());
     let threshold: f64 = arg_value(&args, "--threshold")
@@ -79,10 +87,13 @@ fn main() {
     let mut compare = |name: &str, base: f64, cur: f64, unit: &str| {
         compared += 1;
         let delta_pct = if base > 0.0 { 100.0 * (cur - base) / base } else { 0.0 };
-        let verdict = if delta_pct > threshold {
+        // Rate metrics (`*_per_sec`) regress when they *drop*; everything
+        // else (wall-clock, ns-per-op) regresses when it grows.
+        let worse_pct = if name.ends_with("_per_sec") { -delta_pct } else { delta_pct };
+        let verdict = if worse_pct > threshold {
             regressions += 1;
             "REGRESSED"
-        } else if delta_pct < -threshold {
+        } else if worse_pct < -threshold {
             "improved"
         } else {
             "ok"
@@ -91,24 +102,55 @@ fn main() {
             "  {name:<24} {base:>12.3} -> {cur:>12.3} {unit:<5} {delta_pct:>+7.1}%  {verdict}"
         );
     };
+    let mut warnings = 0u32;
     for (name, base) in &baseline.phases {
         match current.phases.iter().find(|(n, _)| n == name) {
             Some((_, cur)) => compare(name, *base, *cur, "ms"),
-            None => println!("  {name:<24} missing from current run (skipped)"),
+            None => {
+                warnings += 1;
+                eprintln!(
+                    "warning: phase {name} is in the baseline but missing from the current run"
+                );
+            }
+        }
+    }
+    for (name, _) in &current.phases {
+        if !baseline.phases.iter().any(|(n, _)| n == name) {
+            warnings += 1;
+            eprintln!("warning: phase {name} is in the current run but missing from the baseline");
         }
     }
     for (name, base) in &baseline.scalars {
         match current.scalars.iter().find(|(n, _)| n == name) {
-            Some((_, cur)) => compare(name, *base, *cur, "ns"),
-            None => println!("  {name:<24} missing from current run (skipped)"),
+            Some((_, cur)) => {
+                let unit = if name.ends_with("_per_sec") { "/s" } else { "ns" };
+                compare(name, *base, *cur, unit);
+            }
+            None => {
+                warnings += 1;
+                eprintln!(
+                    "warning: scalar {name} is in the baseline but missing from the current run"
+                );
+            }
         }
     }
-    if compared == 0 {
+    for (name, _) in &current.scalars {
+        if !baseline.scalars.iter().any(|(n, _)| n == name) {
+            warnings += 1;
+            eprintln!("warning: scalar {name} is in the current run but missing from the baseline");
+        }
+    }
+    if compared == 0 && !update_baseline {
         eprintln!("error: nothing to compare — baseline and current share no phases or scalars");
         std::process::exit(2);
     }
+    if warnings > 0 {
+        println!("# {warnings} coverage warning(s) — see stderr");
+    }
 
-    if let Some(history_path) = arg_value(&args, "--history") {
+    let history_path = arg_value(&args, "--history")
+        .or_else(|| update_baseline.then(|| "BENCH_history.jsonl".to_string()));
+    if let Some(history_path) = history_path {
         let line = std::fs::read_to_string(&current_path).expect("current artifact re-readable");
         let mut record = String::from(line.trim());
         record.push('\n');
@@ -123,6 +165,20 @@ fn main() {
             });
         file.write_all(record.as_bytes()).expect("history record appends");
         println!("# appended record to {history_path}");
+    }
+
+    if update_baseline {
+        let artifact =
+            std::fs::read_to_string(&current_path).expect("current artifact re-readable");
+        std::fs::write(&baseline_path, artifact).unwrap_or_else(|e| {
+            eprintln!("error: cannot rewrite baseline {baseline_path}: {e}");
+            std::process::exit(2);
+        });
+        println!("# baseline {baseline_path} updated from {current_path}");
+        if regressions > 0 {
+            println!("# {regressions} regression(s) past {threshold}% accepted into the baseline");
+        }
+        return;
     }
 
     if regressions > 0 {

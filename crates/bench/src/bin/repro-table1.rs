@@ -200,6 +200,8 @@ fn main() {
     if let Some(path) = &bench_path {
         let ns_per_act = bench.time("device_microbench", device_ns_per_act);
         bench.scalar("device_ns_per_act", ns_per_act);
+        bench.scalar("refs_per_sec", utrr_bench::refs_per_sec());
+        bench.scalar("weak_scan_ns_per_row", utrr_bench::weak_scan_ns_per_row());
         bench.write(path).expect("bench artifact is writable");
         eprintln!("bench artifact: {}", path.display());
     }

@@ -615,6 +615,55 @@ pub fn device_ns_per_act() -> f64 {
     start.elapsed().as_nanos() as f64 / f64::from(ITERS)
 }
 
+/// Micro-benchmark of the auto-refresh sweep: REF commands retired per
+/// wall-clock second against a module with a sparse touched-row
+/// population (the realistic steady state — most of a bank's rows never
+/// enter an experiment, and the event-driven sweep must skip them for
+/// free).
+pub fn refs_per_sec() -> f64 {
+    let mut module = Module::new(ModuleConfig::small_test(), 13);
+    let bank = Bank::new(0);
+    // Touch a scattering of rows so REF windows hold real work
+    // occasionally, as during an experiment.
+    let rows = module.config().geometry.rows_per_bank;
+    for r in (0..rows).step_by(97) {
+        module.hammer(bank, RowAddr::new(r), 1).expect("warm-up hammer");
+    }
+    const ITERS: u32 = 200_000;
+    let start = std::time::Instant::now();
+    for _ in 0..ITERS {
+        module.refresh();
+    }
+    f64::from(ITERS) / start.elapsed().as_secs_f64()
+}
+
+/// Micro-benchmark of the weak-cell retention scan: average wall-clock
+/// nanoseconds to restore one decayed row (the Row Scout hot path — every
+/// profiling pass writes, waits, and reads back a whole row range, and
+/// each read re-runs the per-row weak-cell window scan).
+pub fn weak_scan_ns_per_row() -> f64 {
+    let mut module = Module::new(ModuleConfig::small_test(), 17);
+    let bank = Bank::new(0);
+    let rows = module.config().geometry.rows_per_bank.min(256);
+    for r in 0..rows {
+        module.write_row(bank, RowAddr::new(r), dram_sim::DataPattern::Ones).expect("bench write");
+    }
+    const PASSES: u32 = 400;
+    let mut scanned = 0u32;
+    let start = std::time::Instant::now();
+    for _ in 0..PASSES {
+        // Long enough that weak cells beat their retention and the scan
+        // has decay work to do, short enough to keep sim-time bounded.
+        module.advance(Nanos::from_ms(300));
+        for r in 0..rows {
+            let readout = module.read_row(bank, RowAddr::new(r)).expect("bench read");
+            std::hint::black_box(readout.flip_count());
+            scanned += 1;
+        }
+    }
+    start.elapsed().as_nanos() as f64 / f64::from(scanned)
+}
+
 /// Builds an analyzer with learned schedules for every group — used by
 /// benches that need schedule-filtered experiments.
 pub fn analyzer_with_schedules(

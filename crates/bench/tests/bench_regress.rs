@@ -1,0 +1,138 @@
+//! Integration tests of the `bench-regress` gate binary: exit codes,
+//! bidirectional coverage warnings, and `--update-baseline`.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn artifact(dir: &Path, name: &str, phases: &[(&str, f64)], scalars: &[(&str, f64)]) -> PathBuf {
+    let mut json = String::from("{\"schema\":\"utrr-bench/1\",\"threads\":1,\"phases\":[");
+    for (i, (n, ms)) in phases.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!("{{\"name\":\"{n}\",\"wall_ms\":{ms}}}"));
+    }
+    json.push_str("],\"scalars\":{");
+    for (i, (n, v)) in scalars.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!("\"{n}\":{v}"));
+    }
+    json.push_str("}}\n");
+    let path = dir.join(name);
+    std::fs::write(&path, json).unwrap();
+    path
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_bench-regress"))
+        .args(args)
+        .env_remove("UTRR_BENCH_THRESHOLD")
+        .output()
+        .expect("bench-regress runs")
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("utrr-bench-regress-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn clean_comparison_exits_zero() {
+    let dir = tmpdir("clean");
+    let base = artifact(&dir, "base.json", &[("phase_a", 100.0)], &[("device_ns_per_act", 50.0)]);
+    let cur = artifact(&dir, "cur.json", &[("phase_a", 104.0)], &[("device_ns_per_act", 49.0)]);
+    let out = run(&["--current", cur.to_str().unwrap(), "--baseline", base.to_str().unwrap()]);
+    assert!(out.status.success(), "stdout: {}", String::from_utf8_lossy(&out.stdout));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("no regressions"));
+}
+
+#[test]
+fn regression_exits_one() {
+    let dir = tmpdir("regress");
+    let base = artifact(&dir, "base.json", &[("phase_a", 100.0)], &[]);
+    let cur = artifact(&dir, "cur.json", &[("phase_a", 140.0)], &[]);
+    let out = run(&["--current", cur.to_str().unwrap(), "--baseline", base.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("REGRESSED"));
+}
+
+#[test]
+fn rate_scalars_regress_when_they_drop() {
+    let dir = tmpdir("rate");
+    // A 40% throughput collapse must fail the gate even though the raw
+    // delta is negative; a 40% throughput gain must not.
+    let base = artifact(&dir, "base.json", &[], &[("refs_per_sec", 50_000_000.0)]);
+    let slow = artifact(&dir, "slow.json", &[], &[("refs_per_sec", 30_000_000.0)]);
+    let fast = artifact(&dir, "fast.json", &[], &[("refs_per_sec", 70_000_000.0)]);
+    let out = run(&["--current", slow.to_str().unwrap(), "--baseline", base.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("REGRESSED"));
+    let out = run(&["--current", fast.to_str().unwrap(), "--baseline", base.to_str().unwrap()]);
+    assert!(out.status.success(), "stdout: {}", String::from_utf8_lossy(&out.stdout));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("improved"));
+}
+
+#[test]
+fn missing_keys_warn_in_both_directions() {
+    let dir = tmpdir("warn");
+    let base = artifact(
+        &dir,
+        "base.json",
+        &[("phase_a", 100.0), ("phase_gone", 5.0)],
+        &[("scalar_gone", 1.0)],
+    );
+    let cur = artifact(
+        &dir,
+        "cur.json",
+        &[("phase_a", 100.0), ("phase_new", 7.0)],
+        &[("scalar_new", 2.0)],
+    );
+    let out = run(&["--current", cur.to_str().unwrap(), "--baseline", base.to_str().unwrap()]);
+    assert!(out.status.success(), "shared phase_a compares clean");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("phase phase_gone is in the baseline but missing"), "{stderr}");
+    assert!(stderr.contains("phase phase_new is in the current run but missing"), "{stderr}");
+    assert!(stderr.contains("scalar scalar_gone is in the baseline but missing"), "{stderr}");
+    assert!(stderr.contains("scalar scalar_new is in the current run but missing"), "{stderr}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("coverage warning(s)"));
+}
+
+#[test]
+fn update_baseline_rewrites_and_appends_history() {
+    let dir = tmpdir("update");
+    let base = artifact(&dir, "base.json", &[("phase_a", 100.0)], &[]);
+    // A regression that would normally fail the gate.
+    let cur = artifact(&dir, "cur.json", &[("phase_a", 200.0)], &[]);
+    let history = dir.join("history.jsonl");
+    let out = run(&[
+        "--current",
+        cur.to_str().unwrap(),
+        "--baseline",
+        base.to_str().unwrap(),
+        "--history",
+        history.to_str().unwrap(),
+        "--update-baseline",
+    ]);
+    assert!(out.status.success(), "update-baseline never fails on regressions");
+    let rewritten = std::fs::read_to_string(&base).unwrap();
+    assert!(rewritten.contains("200"), "baseline now holds the current numbers");
+    let hist = std::fs::read_to_string(&history).unwrap();
+    assert_eq!(hist.lines().count(), 1, "one history record appended");
+    assert!(hist.contains("phase_a"));
+
+    // A second update appends rather than truncates.
+    let out = run(&[
+        "--current",
+        cur.to_str().unwrap(),
+        "--baseline",
+        base.to_str().unwrap(),
+        "--history",
+        history.to_str().unwrap(),
+        "--update-baseline",
+    ]);
+    assert!(out.status.success());
+    assert_eq!(std::fs::read_to_string(&history).unwrap().lines().count(), 2);
+}

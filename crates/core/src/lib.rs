@@ -45,6 +45,7 @@
 //! ```
 
 pub mod analyzer;
+pub mod arena;
 pub mod characterize;
 pub mod error;
 pub mod layout;
@@ -58,6 +59,7 @@ pub use analyzer::{
     flush_tracker, Experiment, ExperimentOutcome, TrrAnalyzer, VictimOutcome, CTR_NOT_REFRESHED,
     CTR_REGULAR_REFRESH, CTR_TRR_REFRESH,
 };
+pub use arena::{ArenaStats, ScratchArena};
 pub use characterize::{compare_hammer_modes, data_pattern_sensitivity, measure_hc_first};
 pub use error::UtrrError;
 pub use layout::RowGroupLayout;

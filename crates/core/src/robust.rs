@@ -12,9 +12,7 @@
 //! traces (and therefore experiment output) bit-identical to a build
 //! without this layer.
 
-use std::collections::BTreeMap;
-
-use dram_sim::{Bank, DataPattern, RowAddr, RowReadout};
+use dram_sim::{majority3_flips, Bank, DataPattern, RowAddr, RowReadout};
 use softmc::MemoryController;
 
 use crate::error::UtrrError;
@@ -70,14 +68,7 @@ pub fn read_row_voted(
         &[],
         "read_disagreement",
     );
-    let mut votes: BTreeMap<u32, u8> = BTreeMap::new();
-    for sample in [&a, &b, &c] {
-        for &bit in sample.flipped_bits() {
-            *votes.entry(bit).or_insert(0) += 1;
-        }
-    }
-    let majority: Vec<u32> =
-        votes.into_iter().filter(|&(_, n)| n >= 2).map(|(bit, _)| bit).collect();
+    let majority = majority3_flips(a.flipped_bits(), b.flipped_bits(), c.flipped_bits());
     Ok(a.with_flips(majority))
 }
 

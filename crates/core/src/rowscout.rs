@@ -34,6 +34,7 @@ use std::collections::BTreeMap;
 use dram_sim::{Bank, DataPattern, Nanos, PhysRow, RowAddr};
 use softmc::MemoryController;
 
+use crate::arena;
 use crate::error::UtrrError;
 use crate::layout::RowGroupLayout;
 use crate::robust;
@@ -381,12 +382,18 @@ impl RowScout {
     ) -> Result<Vec<ProfiledRowGroup>, UtrrError> {
         let cfg = &self.config;
         // Rows failing within T…
-        let fail_at_t = self.failing_rows(mc, retention)?;
+        let mut bucket = arena::take_bools();
+        self.failing_rows(mc, retention, &mut bucket)?;
         // …minus rows that fail too early (before they could survive the
-        // first half-window of a TRR-A experiment; footnote 4).
-        let fail_early = self.failing_rows(mc, retention * 55 / 100)?;
-        let bucket: Vec<bool> =
-            fail_at_t.iter().zip(&fail_early).map(|(&late, &early)| late && !early).collect();
+        // first half-window of a TRR-A experiment; footnote 4): folded
+        // into the same buffer, so a scan pass allocates nothing once the
+        // thread's scratch pool is warm.
+        let mut fail_early = arena::take_bools();
+        self.failing_rows(mc, retention * 55 / 100, &mut fail_early)?;
+        for (late, &early) in bucket.iter_mut().zip(&fail_early) {
+            *late = *late && !early;
+        }
+        arena::recycle_bools(fail_early);
 
         // Skipping known-bad rows changes which candidates get probed,
         // so it only kicks in under fault injection or the opt-in VRT
@@ -421,24 +428,32 @@ impl RowScout {
             }
             base += 1;
         }
+        arena::recycle_bools(bucket);
         Ok(groups)
     }
 
     /// Writes the pattern to the whole range, decays it for `wait`, and
-    /// returns per-row failure flags.
-    fn failing_rows(&self, mc: &mut MemoryController, wait: Nanos) -> Result<Vec<bool>, UtrrError> {
+    /// fills `failed` with per-row failure flags (cleared first, so a
+    /// recycled scratch buffer can be passed directly).
+    fn failing_rows(
+        &self,
+        mc: &mut MemoryController,
+        wait: Nanos,
+        failed: &mut Vec<bool>,
+    ) -> Result<(), UtrrError> {
         let cfg = &self.config;
         for phys in cfg.row_start..cfg.row_end {
             let row = mc.module().logical_of(PhysRow::new(phys));
             mc.write_row(cfg.bank, row, cfg.pattern.clone())?;
         }
         mc.wait_no_refresh(wait);
-        let mut failed = Vec::with_capacity((cfg.row_end - cfg.row_start) as usize);
+        failed.clear();
+        failed.reserve((cfg.row_end - cfg.row_start) as usize);
         for phys in cfg.row_start..cfg.row_end {
             let row = mc.module().logical_of(PhysRow::new(phys));
             failed.push(!mc.read_row(cfg.bank, row)?.is_clean());
         }
-        Ok(failed)
+        Ok(())
     }
 
     fn assemble_group(
@@ -488,17 +503,31 @@ impl RowScout {
         group: &ProfiledRowGroup,
         state: &mut ScanState,
     ) -> Result<Option<RowDiagnostics>, UtrrError> {
+        let mut signatures: Vec<Option<Vec<u32>>> = vec![None; group.rows.len()];
+        let result = self.validate_group_inner(mc, group, state, &mut signatures);
+        for sig in signatures.into_iter().flatten() {
+            arena::recycle_u32(sig);
+        }
+        result
+    }
+
+    fn validate_group_inner(
+        &self,
+        mc: &mut MemoryController,
+        group: &ProfiledRowGroup,
+        state: &mut ScanState,
+        signatures: &mut [Option<Vec<u32>>],
+    ) -> Result<Option<RowDiagnostics>, UtrrError> {
         let cfg = &self.config;
         let faulty = mc.faults_enabled();
         let max_retries: u32 = if faulty { 2 } else { 0 };
         let track_flips = faulty || cfg.vrt_probe;
         let mut retries_spent = 0u32;
-        let mut signatures: Vec<Option<Vec<u32>>> = vec![None; group.rows.len()];
         for _ in 0..cfg.consistency_checks {
             // The rows must fail after the full interval T…
             let mut attempt = 0u32;
             loop {
-                match self.check_fails_at_t(mc, group, track_flips, &mut signatures)? {
+                match self.check_fails_at_t(mc, group, track_flips, signatures)? {
                     None => break,
                     Some((profiled, reason)) => {
                         if attempt < max_retries && reason != QuarantineReason::WriteUnstable {
@@ -603,13 +632,19 @@ impl RowScout {
                 return Ok(Some((*profiled, QuarantineReason::VrtFlap)));
             }
             if track_flips {
-                let sig = readout.flipped_bits().to_vec();
+                // Compare against the recorded signature in place; a
+                // buffer is taken from the scratch pool only the first
+                // time a row's signature is seen.
                 match &signatures[i] {
-                    Some(prev) if *prev != sig => {
+                    Some(prev) if prev.as_slice() != readout.flipped_bits() => {
                         return Ok(Some((*profiled, QuarantineReason::UnstableFlips)));
                     }
                     Some(_) => {}
-                    None => signatures[i] = Some(sig),
+                    None => {
+                        let mut sig = arena::take_u32();
+                        sig.extend_from_slice(readout.flipped_bits());
+                        signatures[i] = Some(sig);
+                    }
                 }
             }
         }
@@ -665,10 +700,12 @@ impl RowScout {
     ) -> Result<Option<(ProfiledRow, QuarantineReason)>, UtrrError> {
         let cfg = &self.config;
         let ceiling = group.retention * 13 / 2;
+        let mut signatures: Vec<Option<Vec<u32>>> = Vec::with_capacity(group.rows.len());
         for pattern in [DataPattern::Ones, DataPattern::Zeros] {
             let mut horizon = group.retention * 13 / 10;
             while horizon <= ceiling {
-                let mut signatures: Vec<Option<Vec<u32>>> = vec![None; group.rows.len()];
+                signatures.clear();
+                signatures.resize_with(group.rows.len(), || None);
                 for _trial in 0..4 {
                     for _churn in 0..8 {
                         for profiled in &group.rows {
@@ -681,17 +718,22 @@ impl RowScout {
                     }
                     mc.wait_no_refresh(horizon);
                     for (i, profiled) in group.rows.iter().enumerate() {
-                        let sig = robust::read_row_voted(mc, cfg.bank, profiled.row)?
-                            .flipped_bits()
-                            .to_vec();
+                        let readout = robust::read_row_voted(mc, cfg.bank, profiled.row)?;
                         match &signatures[i] {
-                            Some(prev) if *prev != sig => {
+                            Some(prev) if prev.as_slice() != readout.flipped_bits() => {
                                 return Ok(Some((*profiled, QuarantineReason::UnstableFlips)));
                             }
                             Some(_) => {}
-                            None => signatures[i] = Some(sig),
+                            None => {
+                                let mut sig = arena::take_u32();
+                                sig.extend_from_slice(readout.flipped_bits());
+                                signatures[i] = Some(sig);
+                            }
                         }
                     }
+                }
+                for sig in signatures.drain(..).flatten() {
+                    arena::recycle_u32(sig);
                 }
                 horizon = horizon * 13 / 10;
             }

@@ -6,7 +6,6 @@
 //! for everything the experiments need: retention and RowHammer failures
 //! are exactly "bits that differ from what was written".
 
-use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::Arc;
 
@@ -83,25 +82,30 @@ pub(crate) struct RowData {
     pub pattern: DataPattern,
     /// Written-with address; patterns may be row-parity dependent.
     pub written_as: RowAddr,
-    /// Bit positions currently differing from the pattern.
-    pub flips: BTreeSet<u32>,
+    /// Bit positions currently differing from the pattern, sorted
+    /// ascending with no duplicates. A row holds at most a handful of
+    /// flips, so a flat sorted vector beats a tree: membership is one
+    /// binary search over a cache line and a readout clone is a memcpy.
+    pub flips: Vec<u32>,
 }
 
 impl RowData {
     pub fn new(pattern: DataPattern, written_as: RowAddr) -> Self {
-        RowData { pattern, written_as, flips: BTreeSet::new() }
+        RowData { pattern, written_as, flips: Vec::new() }
     }
 
     /// Current value of a bit.
     pub fn bit(&self, bit: u32) -> bool {
-        self.pattern.bit_at(self.written_as, bit) ^ self.flips.contains(&bit)
+        self.pattern.bit_at(self.written_as, bit) ^ self.flips.binary_search(&bit).is_ok()
     }
 
-    /// Records that `bit` now reads back inverted relative to the pattern.
-    /// Flipping an already-flipped bit restores it (used by tests only; the
-    /// physics never un-flips).
+    /// Records that `bit` now reads back inverted relative to the
+    /// pattern. Idempotent: the physics never un-flips a bit within one
+    /// decay window.
     pub fn set_flipped(&mut self, bit: u32) {
-        self.flips.insert(bit);
+        if let Err(pos) = self.flips.binary_search(&bit) {
+            self.flips.insert(pos, bit);
+        }
     }
 }
 
@@ -171,17 +175,17 @@ impl RowReadout {
     /// flip.
     pub fn flips_per_dataword(&self) -> Vec<(u32, u32)> {
         // `flipped` is sorted ascending, so all flips of one chunk are
-        // contiguous: a single pass suffices, and the output can never
-        // hold more entries than flips or than datawords in the row —
-        // pre-size to that bound so the scan never reallocates.
+        // contiguous: gather each chunk's run into a u64 mask and pop the
+        // count in one instruction. The output can never hold more entries
+        // than flips or than datawords in the row — pre-size to that bound
+        // so the scan never reallocates.
         let bound = self.flipped.len().min(self.dataword_count().max(1) as usize);
         let mut out: Vec<(u32, u32)> = Vec::with_capacity(bound);
-        for &bit in &self.flipped {
-            let chunk = bit / 64;
-            match out.last_mut() {
-                Some((c, n)) if *c == chunk => *n += 1,
-                _ => out.push((chunk, 1)),
-            }
+        let mut i = 0;
+        while i < self.flipped.len() {
+            let chunk = self.flipped[i] / 64;
+            let mask = gather_chunk(&self.flipped, &mut i, chunk);
+            out.push((chunk, mask.count_ones()));
         }
         out
     }
@@ -228,6 +232,67 @@ impl RowReadout {
             pattern: self.pattern.clone(),
             flipped: flips,
             row_bits: self.row_bits,
+        }
+    }
+}
+
+/// Collects the run of `list` entries belonging to 64-bit `chunk` into a
+/// bit mask, advancing `i` past the run. `list` must be sorted ascending
+/// and deduplicated, with `i` at or before the chunk's first entry.
+fn gather_chunk(list: &[u32], i: &mut usize, chunk: u32) -> u64 {
+    let mut mask = 0u64;
+    while *i < list.len() && list[*i] / 64 == chunk {
+        mask |= 1u64 << (list[*i] % 64);
+        *i += 1;
+    }
+    mask
+}
+
+/// Bitwise two-of-three majority over three sorted, deduplicated flip
+/// lists: a bit is in the result iff it appears in at least two of the
+/// inputs. Output is sorted ascending.
+///
+/// This is the consensus kernel behind fault-tolerant voted row reads:
+/// instead of tallying each bit position in a map, the three lists are
+/// merged one aligned 64-bit dataword at a time and the majority is taken
+/// with three ANDs and an OR over whole words.
+///
+/// # Example
+///
+/// ```
+/// use dram_sim::majority3_flips;
+///
+/// let maj = majority3_flips(&[3, 70], &[3, 200], &[70, 200]);
+/// assert_eq!(maj, vec![3, 70, 200]);
+/// ```
+pub fn majority3_flips(a: &[u32], b: &[u32], c: &[u32]) -> Vec<u32> {
+    // Every majority bit is in at least two lists, hence in at least one
+    // of the two smallest — their combined size bounds the output.
+    let mut sizes = [a.len(), b.len(), c.len()];
+    sizes.sort_unstable();
+    let mut out = Vec::with_capacity(sizes[0] + sizes[1]);
+    let (mut ia, mut ib, mut ic) = (0usize, 0usize, 0usize);
+    loop {
+        let mut chunk = u32::MAX;
+        if ia < a.len() {
+            chunk = chunk.min(a[ia] / 64);
+        }
+        if ib < b.len() {
+            chunk = chunk.min(b[ib] / 64);
+        }
+        if ic < c.len() {
+            chunk = chunk.min(c[ic] / 64);
+        }
+        if chunk == u32::MAX {
+            return out;
+        }
+        let ma = gather_chunk(a, &mut ia, chunk);
+        let mb = gather_chunk(b, &mut ib, chunk);
+        let mc = gather_chunk(c, &mut ic, chunk);
+        let mut maj = (ma & mb) | (ma & mc) | (mb & mc);
+        while maj != 0 {
+            out.push(chunk * 64 + maj.trailing_zeros());
+            maj &= maj - 1;
         }
     }
 }
@@ -303,6 +368,40 @@ mod tests {
             }
             assert_eq!(r.flips_per_dataword(), expected, "seed {seed}");
         }
+    }
+
+    #[test]
+    fn majority3_matches_tally_reference() {
+        // Pin the chunked merge against the obvious per-bit tally over
+        // randomized sorted flip sets, including cross-chunk spreads.
+        let row_bits: u64 = 2048;
+        for seed in 0..64u64 {
+            let mut rng = crate::rng::SplitMix64::new(seed.wrapping_mul(0x1234_5678_9ABC_DEF1));
+            let mut draw = |n: u64| -> Vec<u32> {
+                let mut v: Vec<u32> = (0..n).map(|_| (rng.next_u64() % row_bits) as u32).collect();
+                v.sort_unstable();
+                v.dedup();
+                v
+            };
+            let (a, b, c) = (draw(40), draw(40), draw(40));
+            let mut tally = std::collections::BTreeMap::new();
+            for &bit in a.iter().chain(&b).chain(&c) {
+                *tally.entry(bit).or_insert(0u32) += 1;
+            }
+            let expected: Vec<u32> =
+                tally.into_iter().filter(|&(_, n)| n >= 2).map(|(bit, _)| bit).collect();
+            assert_eq!(majority3_flips(&a, &b, &c), expected, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn majority3_edge_cases() {
+        assert!(majority3_flips(&[], &[], &[]).is_empty());
+        assert!(majority3_flips(&[5], &[], &[]).is_empty());
+        assert_eq!(majority3_flips(&[5], &[5], &[]), vec![5]);
+        assert_eq!(majority3_flips(&[5], &[5], &[5]), vec![5]);
+        // Disjoint pairwise overlaps across distant chunks.
+        assert_eq!(majority3_flips(&[0, 640], &[0, 1300], &[640, 1300]), vec![0, 640, 1300]);
     }
 
     #[test]

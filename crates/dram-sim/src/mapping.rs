@@ -180,8 +180,24 @@ impl Topology {
         rows_per_bank: u32,
         radius2_weight: f64,
     ) -> Vec<(PhysRow, f64)> {
+        let (targets, n) = self.disturb_targets_fixed(row, rows_per_bank, radius2_weight);
+        targets[..n].to_vec()
+    }
+
+    /// Allocation-free form of [`Topology::disturb_targets`]: fills a
+    /// fixed array (a topology disturbs at most 4 rows) and returns how
+    /// many entries are valid. This is the per-`ACT` hot path — every
+    /// activation resolves its victims through here, so it must not
+    /// touch the heap.
+    pub fn disturb_targets_fixed(
+        self,
+        row: PhysRow,
+        rows_per_bank: u32,
+        radius2_weight: f64,
+    ) -> ([(PhysRow, f64); 4], usize) {
         let r = row.index();
-        let mut out = Vec::with_capacity(4);
+        let mut out = [(PhysRow::new(0), 0.0f64); 4];
+        let mut n = 0;
         match self {
             Topology::Linear => {
                 let candidates = [
@@ -192,18 +208,20 @@ impl Topology {
                 ];
                 for (c, w) in candidates {
                     if c < rows_per_bank && w > 0.0 {
-                        out.push((PhysRow::new(c), w));
+                        out[n] = (PhysRow::new(c), w);
+                        n += 1;
                     }
                 }
             }
             Topology::Paired => {
                 let pair = r ^ 1;
                 if pair < rows_per_bank {
-                    out.push((PhysRow::new(pair), 1.0));
+                    out[0] = (PhysRow::new(pair), 1.0);
+                    n = 1;
                 }
             }
         }
-        out
+        (out, n)
     }
 
     /// Physical rows a TRR mechanism refreshes when it detects `row` as an

@@ -121,6 +121,17 @@ pub trait MitigationEngine: fmt::Debug {
     /// nothing.
     fn take_inline_detections(&mut self, _out: &mut Vec<TrrDetection>) {}
 
+    /// Whether this engine can *ever* surface ACT-synchronous detections
+    /// through [`MitigationEngine::take_inline_detections`]. Engines that
+    /// only detect at `REF` time (all in-DRAM TRR implementations) return
+    /// `false`, which lets the device skip the inline-drain call after
+    /// every activation batch entirely. The default is `true` — always
+    /// correct, merely slower — so only engines whose
+    /// `take_inline_detections` is the no-op default should override.
+    fn detects_inline(&self) -> bool {
+        true
+    }
+
     /// Hands the engine the metrics registry of the device it protects,
     /// called on construction and whenever a new registry is attached
     /// ([`crate::Module::attach_registry`]). Engines that want to expose
@@ -178,6 +189,10 @@ impl MitigationEngine for NoMitigation {
     fn on_activations(&mut self, _: Bank, _: PhysRow, _: u64, _: Nanos) {}
 
     fn on_refresh(&mut self, _: Nanos, _out: &mut Vec<TrrDetection>) {}
+
+    fn detects_inline(&self) -> bool {
+        false
+    }
 
     fn reset(&mut self) {}
 

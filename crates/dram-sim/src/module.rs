@@ -29,7 +29,6 @@ use obs::MetricsRegistry;
 use crate::addr::{Bank, ModuleGeometry, PhysRow, RowAddr};
 use crate::data::{DataPattern, RowData, RowReadout};
 use crate::error::DramError;
-use crate::fxhash::FxHashMap;
 use crate::mapping::{RowMapping, Topology};
 use crate::metrics::{DeviceMetrics, EVT_BIT_FLIP, EVT_TRR_DETECTION};
 use crate::mitigation::{MitigationEngine, NoMitigation, TrrDetection};
@@ -109,6 +108,51 @@ struct RowState {
     physics: RowPhysics,
 }
 
+/// The round-robin `REF` window `[start, end)` of the upcoming `REF`,
+/// maintained incrementally (Bresenham-style) so the per-`REF` hot path
+/// never divides. Invariant: with `k = ref_count % period`,
+/// `start = k·rows/period`, `end = (k+1)·rows/period`, and
+/// `rem = ((k+1)·rows) % period`.
+#[derive(Debug, Clone, Copy)]
+struct RefWindow {
+    /// Position within the refresh period (`ref_count % period`).
+    k: u64,
+    start: u64,
+    end: u64,
+    /// Running remainder of `(k+1)·rows / period`.
+    rem: u64,
+    /// `rows / period` and `rows % period`, precomputed once.
+    q: u64,
+    r: u64,
+    period: u64,
+}
+
+impl RefWindow {
+    fn new(rows: u64, period: u64) -> Self {
+        let (q, r) = (rows / period, rows % period);
+        RefWindow { k: 0, start: 0, end: q, rem: r, q, r, period }
+    }
+
+    /// Advances to the next `REF`'s window.
+    fn step(&mut self) {
+        self.k += 1;
+        if self.k == self.period {
+            self.k = 0;
+            self.start = 0;
+            self.end = self.q;
+            self.rem = self.r;
+            return;
+        }
+        self.start = self.end;
+        self.end += self.q;
+        self.rem += self.r;
+        if self.rem >= self.period {
+            self.rem -= self.period;
+            self.end += 1;
+        }
+    }
+}
+
 /// Per-bank interface state.
 #[derive(Debug, Default, Clone, Copy)]
 struct BankState {
@@ -126,13 +170,28 @@ struct BankState {
 pub struct Module {
     config: ModuleConfig,
     engine: Box<dyn MitigationEngine>,
+    /// Cached [`MitigationEngine::detects_inline`] capability. Engines
+    /// that only detect at `REF` time never populate the inline drain,
+    /// so the ACT hot paths skip the per-batch drain call outright.
+    engine_inline: bool,
     seed: u64,
     now: Nanos,
     ref_count: u64,
-    rows: FxHashMap<u64, RowState>,
+    /// Incrementally maintained round-robin window of the *next* `REF`
+    /// (see [`Module::refresh_window`]). Stepping it is a few adds and
+    /// compares — the closed form costs three integer divisions per
+    /// `REF`, which is real money at a million REFs per experiment.
+    ref_window: RefWindow,
+    /// Dense per-slot map from `(bank, physical row)` to an index into
+    /// `row_states` (4 bytes per row of the module). The hammer/restore
+    /// hot path resolves a row in two array reads — no hashing.
+    /// Entries are only meaningful where the `touched` bit is set.
+    row_index: Vec<u32>,
+    /// Backing store of every touched row's state, in first-touch order.
+    row_states: Vec<RowState>,
     /// One bit per `(bank, physical row)`: set iff the row has an entry
-    /// in `rows`. `REF`'s round-robin scan and TRR victim restores
-    /// consult this O(1) index instead of hashing every candidate row —
+    /// in `row_states`. `REF`'s round-robin scan and TRR victim restores
+    /// consult this O(1) index instead of probing every candidate row —
     /// untouched rows (the overwhelming majority of a 64K-row bank
     /// under a targeted attack) cost one bit test.
     touched: Vec<u64>,
@@ -165,13 +224,19 @@ impl Module {
         let metrics = DeviceMetrics::private();
         let mut engine = engine;
         engine.attach_metrics(metrics.registry());
+        let engine_inline = engine.detects_inline();
+        let ref_window =
+            RefWindow::new(config.geometry.rows_per_bank as u64, config.refresh.period_refs as u64);
         Module {
             config,
             engine,
+            engine_inline,
             seed,
             now: Nanos::ZERO,
             ref_count: 0,
-            rows: FxHashMap::default(),
+            ref_window,
+            row_index: vec![u32::MAX; row_slots],
+            row_states: Vec::new(),
             touched: vec![0u64; row_slots.div_ceil(64)],
             banks,
             detect_buf: Vec::new(),
@@ -373,12 +438,9 @@ impl Module {
         let row_bits = self.config.geometry.row_bits();
         let state = self.row_state(bank, phys);
         let readout = match &state.data {
-            Some(data) => RowReadout::new(
-                logical,
-                data.pattern.clone(),
-                data.flips.iter().copied().collect(),
-                row_bits,
-            ),
+            Some(data) => {
+                RowReadout::new(logical, data.pattern.clone(), data.flips.clone(), row_bits)
+            }
             None => RowReadout::new(logical, DataPattern::Zeros, Vec::new(), row_bits),
         };
         self.metrics.row_reads.inc();
@@ -585,30 +647,114 @@ impl Module {
 
     /// Issues one `REF` command: the round-robin regular refresh plus any
     /// TRR-induced refreshes the mitigation engine decides to piggyback.
+    ///
+    /// The regular sweep is event-driven: instead of probing every row of
+    /// the round-robin window, it walks the `touched` bitmap word by word
+    /// and extracts set bits with `trailing_zeros`, so untouched rows cost
+    /// nothing at all and a `REF` whose window holds no touched rows goes
+    /// straight to the mitigation engine's `on_refresh` hook. The restore
+    /// order (ascending physical row within each bank, banks in order) is
+    /// identical to the full-window probe retained in
+    /// [`Module::refresh_naive`].
     pub fn refresh(&mut self) {
-        let rows = self.config.geometry.rows_per_bank as u64;
-        let period = self.config.refresh.period_refs as u64;
-        let k = self.ref_count;
-        let start = k * rows / period;
-        let end = (k + 1) * rows / period;
+        self.refresh_impl(true);
+    }
+
+    /// [`Module::refresh`] with per-`REF` counter/histogram recording
+    /// optionally deferred — the burst path accounts a whole burst with
+    /// one counter add and one histogram record instead of paying the
+    /// shared-registry atomics `count` times.
+    fn refresh_impl(&mut self, record_metrics: bool) {
+        let (start, end) = self.refresh_window();
+        // Scaled-down geometries have more REFs per period than rows per
+        // bank, so most windows are empty — skip the bank scan outright.
+        if start < end {
+            let rows_per_bank = self.config.geometry.rows_per_bank as usize;
+            let mut restored = 0u64;
+            for bank_idx in 0..self.config.geometry.banks {
+                let bank = Bank::new(bank_idx);
+                let base = bank_idx as usize * rows_per_bank;
+                let lo = base + start as usize;
+                let hi = base + end as usize;
+                let mut word_idx = lo / 64;
+                while word_idx * 64 < hi {
+                    let word_base = word_idx * 64;
+                    let mut bits = self.touched[word_idx];
+                    if word_base < lo {
+                        bits &= !0u64 << (lo - word_base);
+                    }
+                    if hi - word_base < 64 {
+                        bits &= (1u64 << (hi - word_base)) - 1;
+                    }
+                    while bits != 0 {
+                        let offset = bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        let phys = PhysRow::new((word_base + offset - base) as u32);
+                        self.restore(bank, phys);
+                        restored += 1;
+                    }
+                    word_idx += 1;
+                }
+            }
+            if restored > 0 {
+                self.metrics.regular_row_refreshes.add(restored);
+            }
+        }
+        self.complete_refresh(start, end, record_metrics);
+    }
+
+    /// Reference implementation of [`Module::refresh`] that probes every
+    /// row of the round-robin window whether touched or not (the
+    /// behaviour before the event-driven bitmap scan). Kept so the
+    /// equivalence property suite can drive randomized command traces
+    /// through both implementations and assert identical observable
+    /// state; not part of the simulator API.
+    #[doc(hidden)]
+    pub fn refresh_naive(&mut self) {
+        let (start, end) = self.refresh_window();
         for bank_idx in 0..self.config.geometry.banks {
             let bank = Bank::new(bank_idx);
             for r in start..end {
-                let phys = PhysRow::new((r % rows) as u32);
+                let phys = PhysRow::new(r as u32);
                 if self.restore_existing(bank, phys) {
                     self.metrics.regular_row_refreshes.inc();
                 }
             }
         }
+        self.complete_refresh(start, end, true);
+    }
+
+    /// The physical row window `[start, end)` the next `REF` restores in
+    /// every bank. `REF` number `k` of a period covers
+    /// `[k·rows/period, (k+1)·rows/period)`; the window never crosses the
+    /// end of the bank, and over one period the windows tile every row
+    /// exactly once.
+    fn refresh_window(&self) -> (u64, u64) {
+        debug_assert_eq!(self.ref_window.k, self.ref_count % self.ref_window.period);
+        debug_assert_eq!(self.ref_window.start, {
+            let rows = self.config.geometry.rows_per_bank as u64;
+            let period = self.config.refresh.period_refs as u64;
+            (self.ref_count % period) * rows / period
+        });
+        (self.ref_window.start, self.ref_window.end)
+    }
+
+    /// Shared `REF` tail: TRR piggyback detections, counters, tracing,
+    /// and timing. `start..end` is the physical window the sweep covered.
+    fn complete_refresh(&mut self, start: u64, end: u64, record_metrics: bool) {
         let mut detections = std::mem::take(&mut self.detect_buf);
         detections.clear();
         self.engine.on_refresh(self.now, &mut detections);
         self.apply_detections(&detections);
         self.detect_buf = detections;
+        let k = self.ref_count;
         self.ref_count += 1;
-        self.metrics.refresh.inc();
-        if self.metrics.detail() {
-            self.metrics.ref_ns.record(self.config.timings.t_rfc.as_ns());
+        self.ref_window.step();
+        if record_metrics {
+            self.metrics.refresh.inc();
+            if self.metrics.detail() {
+                self.metrics.ref_ns.record(self.config.timings.t_rfc.as_ns());
+            }
         }
         if self.metrics.tracing() {
             // Pre-gate on the tracked row set: a full tREFW is ~8k REFs,
@@ -616,7 +762,7 @@ impl Module {
             // a tracked row matter to the causal timeline.
             let swept = self.metrics.registry().recorder().is_some_and(|recorder| {
                 let filter = recorder.filter();
-                filter.tracks_all() || (start..end).any(|r| filter.admits(Some((r % rows) as u32)))
+                filter.tracks_all() || (start..end).any(|r| filter.admits(Some(r as u32)))
             });
             if swept {
                 self.metrics.trace(
@@ -624,7 +770,7 @@ impl Module {
                     self.now.as_ns(),
                     0,
                     None,
-                    &[("ref_index", k), ("sweep_start", start % rows), ("sweep_rows", end - start)],
+                    &[("ref_index", k), ("sweep_start", start), ("sweep_rows", end - start)],
                     "",
                 );
             }
@@ -637,10 +783,19 @@ impl Module {
     /// buffer are loop invariants: each `refresh()` reuses the module's
     /// detection buffer, so the burst performs no per-`REF` allocation.
     pub fn refresh_burst_at_refi(&mut self, count: u64) {
+        if count == 0 {
+            return;
+        }
         let idle = self.config.timings.t_refi.saturating_sub(self.config.timings.t_rfc);
         for _ in 0..count {
-            self.refresh();
+            self.refresh_impl(false);
             self.advance(idle);
+        }
+        // One counter add and one histogram record for the whole burst —
+        // identical totals, none of the per-`REF` shared-atomic traffic.
+        self.metrics.refresh.add(count);
+        if self.metrics.detail() {
+            self.metrics.ref_ns.record_n(self.config.timings.t_rfc.as_ns(), count);
         }
     }
 
@@ -658,17 +813,26 @@ impl Module {
         self.engine.reset();
     }
 
+    /// The physics-derivation stream of a row. Part of the determinism
+    /// contract: per-row RNG streams are seeded from this value, so it
+    /// must stay stable across storage-layout changes.
     fn key(bank: Bank, phys: PhysRow) -> u64 {
         (bank.index() as u64) << 32 | phys.index() as u64
     }
 
+    /// Dense storage slot of `(bank, phys)`: bank-major, row-minor.
+    #[inline]
+    fn slot(&self, bank: Bank, phys: PhysRow) -> usize {
+        bank.index() as usize * self.config.geometry.rows_per_bank as usize + phys.index() as usize
+    }
+
     fn touched_slot(&self, bank: Bank, phys: PhysRow) -> (usize, u64) {
-        let index = bank.index() as usize * self.config.geometry.rows_per_bank as usize
-            + phys.index() as usize;
+        let index = self.slot(bank, phys);
         (index / 64, 1u64 << (index % 64))
     }
 
     /// Whether `(bank, phys)` has an entry in the row table.
+    #[inline]
     fn is_touched(&self, bank: Bank, phys: PhysRow) -> bool {
         let (word, mask) = self.touched_slot(bank, phys);
         self.touched[word] & mask != 0
@@ -696,11 +860,12 @@ impl Module {
 
     /// Get-or-create the state of a row. The `touched` bit doubles as
     /// the existence check, so the common "row already exists" path
-    /// costs one bit test plus one hash lookup.
+    /// costs one bit test plus two array reads — no hashing.
+    #[inline]
     fn row_state(&mut self, bank: Bank, phys: PhysRow) -> &mut RowState {
-        let key = Self::key(bank, phys);
-        if !self.is_touched(bank, phys) {
-            let (word, mask) = self.touched_slot(bank, phys);
+        let slot = self.slot(bank, phys);
+        let (word, mask) = (slot / 64, 1u64 << (slot % 64));
+        if self.touched[word] & mask == 0 {
             self.touched[word] |= mask;
             let state = RowState {
                 last_restore: self.now,
@@ -709,27 +874,30 @@ impl Module {
                 physics: RowPhysics::derive(
                     &self.config.physics,
                     self.seed,
-                    key,
+                    Self::key(bank, phys),
                     self.config.geometry.row_bits(),
                 ),
             };
-            self.rows.insert(key, state);
+            self.row_index[slot] = u32::try_from(self.row_states.len())
+                .expect("fewer than 2^32 touched rows per module");
+            self.row_states.push(state);
         }
-        self.rows.get_mut(&key).expect("touched bit implies a row entry")
+        let index = self.row_index[slot] as usize;
+        &mut self.row_states[index]
     }
 
     /// Ends the decay window of a row: materializes retention and
     /// RowHammer flips into its data, then marks it fully restored.
     fn restore(&mut self, bank: Bank, phys: PhysRow) {
-        if !self.is_touched(bank, phys) {
+        let slot = self.slot(bank, phys);
+        if self.touched[slot / 64] & (1u64 << (slot % 64)) == 0 {
             // First touch: a freshly created state is already restored.
             let _ = self.row_state(bank, phys);
             return;
         }
         let now = self.now;
         let row_bits = self.config.geometry.row_bits();
-        let key = Self::key(bank, phys);
-        let state = self.rows.get_mut(&key).expect("touched bit implies a row entry");
+        let state = &mut self.row_states[self.row_index[slot] as usize];
         if now - state.last_restore == Nanos::ZERO && state.disturbance == 0.0 {
             return;
         }
@@ -785,6 +953,11 @@ impl Module {
     /// Drains ACT-synchronous detections (PARA/Graphene-style engines)
     /// and refreshes their victims immediately.
     fn apply_inline_detections(&mut self) {
+        if !self.engine_inline {
+            // REF-time-only engines never have anything to drain; skip
+            // the two virtual calls and buffer swap on every ACT batch.
+            return;
+        }
         let mut detections = std::mem::take(&mut self.detect_buf);
         detections.clear();
         self.engine.take_inline_detections(&mut detections);
@@ -800,6 +973,12 @@ impl Module {
     /// uniformly and its disturbance self-balances, so only targeted
     /// refreshes are modelled as disturbing.
     fn apply_detections(&mut self, detections: &[TrrDetection]) {
+        if detections.is_empty() {
+            // Nearly every ACT and REF lands here: engines detect on a
+            // tiny fraction of commands, and a zero-length add is still
+            // an atomic RMW per command if not skipped.
+            return;
+        }
         self.metrics.trr_detections.add(detections.len() as u64);
         for &det in detections {
             self.metrics.event(
@@ -858,19 +1037,20 @@ impl Module {
     /// activation of `source` to its topological neighbours.
     fn disturb_from(&mut self, bank: Bank, source: PhysRow, weight: f64) {
         let coupling = {
-            let pattern = self
-                .rows
-                .get(&Self::key(bank, source))
-                .and_then(|s| s.data.as_ref())
-                .map(|d| &d.pattern);
+            let slot = self.slot(bank, source);
+            let pattern = if self.touched[slot / 64] & (1u64 << (slot % 64)) != 0 {
+                self.row_states[self.row_index[slot] as usize].data.as_ref().map(|d| &d.pattern)
+            } else {
+                None
+            };
             self.config.physics.aggressor_coupling(pattern)
         };
-        let targets = self.config.topology.disturb_targets(
+        let (targets, n) = self.config.topology.disturb_targets_fixed(
             source,
             self.config.geometry.rows_per_bank,
             self.config.physics.radius2_weight,
         );
-        for (victim, w) in targets {
+        for &(victim, w) in &targets[..n] {
             self.row_state(bank, victim).disturbance += w * weight * coupling;
         }
     }

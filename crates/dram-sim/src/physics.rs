@@ -150,36 +150,115 @@ impl PhysicsConfig {
     }
 }
 
-/// The two-state retention of a VRT-afflicted cell.
+/// The retention-weak cells of one row, stored struct-of-arrays: every
+/// per-cell attribute lives in its own parallel array, so the restore hot
+/// loop and Row Scout's weak-cell scans stream one attribute linearly
+/// instead of striding over interleaved per-cell structs.
+///
+/// # Layout invariants
+///
+/// * All five arrays share the same length (the cell count); index `i`
+///   addresses one cell across all of them.
+/// * `vrt_long[i] == Nanos::ZERO` marks a non-VRT cell, in which case
+///   `vrt_in_long[i]` is `false` and stays false. (A real VRT long state
+///   is `retention × vrt_retention_factor` of a positive retention, so
+///   zero can never be a legitimate long-state value.)
+/// * `min_effective` caches the minimum of `effective_retention(i)` over
+///   all cells ([`WeakCells::NO_CELLS`] when empty) and is recomputed
+///   after every VRT state transition — it gates the restore fast path,
+///   so staleness would change simulation results.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub(crate) struct VrtState {
-    /// Retention time while in the long state.
-    pub long_retention: Nanos,
-    /// Whether the cell currently holds charge for the long time.
-    pub in_long: bool,
+pub(crate) struct WeakCells {
+    /// Bit position of each cell within the row.
+    bits: Vec<u32>,
+    /// Short-state retention time of each cell.
+    retention: Vec<Nanos>,
+    /// The data value each cell leaks *from*: a flip happens only when
+    /// the stored bit equals this value.
+    charged: Vec<bool>,
+    /// Long-state retention of each VRT cell; `Nanos::ZERO` = not VRT.
+    vrt_long: Vec<Nanos>,
+    /// Whether each VRT cell currently holds charge for the long time.
+    vrt_in_long: Vec<bool>,
+    /// Cached minimum currently-effective retention over all cells.
+    min_effective: Nanos,
 }
 
-/// A retention-weak cell of one row.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub(crate) struct WeakCell {
-    /// Bit position within the row.
-    pub bit: u32,
-    /// Retention time (short state, for VRT cells).
-    pub retention: Nanos,
-    /// The data value the cell leaks *from*: a flip happens only when the
-    /// stored bit equals this value.
-    pub charged_value: bool,
-    /// VRT behaviour, if any.
-    pub vrt: Option<VrtState>,
-}
+impl WeakCells {
+    /// `min_effective` of a row with no weak cells: later than any decay
+    /// window, so the restore fast path always skips the cell loop.
+    const NO_CELLS: Nanos = Nanos::from_ns(u64::MAX);
 
-impl WeakCell {
-    /// The retention time currently in effect.
-    pub fn effective_retention(&self) -> Nanos {
-        match &self.vrt {
-            Some(v) if v.in_long => v.long_retention,
-            _ => self.retention,
+    fn empty() -> Self {
+        WeakCells {
+            bits: Vec::new(),
+            retention: Vec::new(),
+            charged: Vec::new(),
+            vrt_long: Vec::new(),
+            vrt_in_long: Vec::new(),
+            min_effective: Self::NO_CELLS,
         }
+    }
+
+    fn push(&mut self, bit: u32, retention: Nanos, charged: bool, vrt: Option<(Nanos, bool)>) {
+        self.bits.push(bit);
+        self.retention.push(retention);
+        self.charged.push(charged);
+        let (long, in_long) = vrt.unwrap_or((Nanos::ZERO, false));
+        self.vrt_long.push(long);
+        self.vrt_in_long.push(in_long);
+    }
+
+    fn recompute_min(&mut self) {
+        self.min_effective =
+            (0..self.len()).map(|i| self.effective_retention(i)).min().unwrap_or(Self::NO_CELLS);
+    }
+
+    /// Number of weak cells.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether the row has no weak cells.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Bit position of cell `i`.
+    pub fn bit(&self, i: usize) -> u32 {
+        self.bits[i]
+    }
+
+    /// Short-state retention of cell `i`.
+    pub fn retention(&self, i: usize) -> Nanos {
+        self.retention[i]
+    }
+
+    /// The value cell `i` leaks from.
+    pub fn charged(&self, i: usize) -> bool {
+        self.charged[i]
+    }
+
+    /// Whether cell `i` suffers from VRT.
+    pub fn is_vrt(&self, i: usize) -> bool {
+        self.vrt_long[i] != Nanos::ZERO
+    }
+
+    /// The retention of cell `i` currently in effect.
+    pub fn effective_retention(&self, i: usize) -> Nanos {
+        if self.vrt_in_long[i] {
+            self.vrt_long[i]
+        } else {
+            self.retention[i]
+        }
+    }
+
+    /// Cached minimum currently-effective retention over all cells
+    /// ([`WeakCells::NO_CELLS`] when the row has none): decay windows at
+    /// or below this can not have flipped anything, which is what lets a
+    /// restore skip the per-cell scan entirely.
+    pub fn min_effective(&self) -> Nanos {
+        self.min_effective
     }
 }
 
@@ -187,8 +266,8 @@ impl WeakCell {
 /// seed and cached by the device on first touch.
 #[derive(Debug, Clone, PartialEq)]
 pub(crate) struct RowPhysics {
-    /// Retention-weak cells, if any.
-    pub weak_cells: Vec<WeakCell>,
+    /// Retention-weak cells, if any (struct-of-arrays).
+    pub cells: WeakCells,
     /// Disturbance units at which this row's first RowHammer flip occurs.
     pub hc_base: f64,
     /// Seed for deriving hammerable-cell positions.
@@ -203,7 +282,7 @@ impl RowPhysics {
     pub fn derive(cfg: &PhysicsConfig, seed: u64, stream: u64, row_bits: u32) -> Self {
         let mut rng = SplitMix64::new(derive_seed(seed, stream));
         let scale = cfg.retention_scale();
-        let mut weak_cells = Vec::new();
+        let mut cells = WeakCells::empty();
         if rng.next_bool(cfg.weak_row_prob) {
             loop {
                 let retention = Nanos::from_ns(
@@ -213,43 +292,45 @@ impl RowPhysics {
                     ) * scale) as u64,
                 );
                 let vrt = if rng.next_bool(cfg.vrt_prob) {
-                    Some(VrtState {
-                        long_retention: Nanos::from_ns(
+                    Some((
+                        Nanos::from_ns(
                             (retention.as_ns() as f64 * cfg.vrt_retention_factor) as u64,
                         ),
-                        in_long: rng.next_bool(0.5),
-                    })
+                        rng.next_bool(0.5),
+                    ))
                 } else {
                     None
                 };
-                weak_cells.push(WeakCell {
-                    bit: rng.next_below(row_bits as u64) as u32,
-                    retention,
-                    charged_value: rng.next_bool(0.5),
-                    vrt,
-                });
+                let bit = rng.next_below(row_bits as u64) as u32;
+                let charged = rng.next_bool(0.5);
+                cells.push(bit, retention, charged, vrt);
                 if !rng.next_bool(cfg.extra_weak_cell_prob) {
                     break;
                 }
             }
+            cells.recompute_min();
         }
         let hc_base = cfg.min_base_threshold() * (1.0 + rng.next_exp(cfg.hc_lambda));
         let cell_seed = rng.next_u64();
         let vrt_rng = SplitMix64::new(rng.next_u64());
-        RowPhysics { weak_cells, hc_base, cell_seed, vrt_rng }
+        RowPhysics { cells, hc_base, cell_seed, vrt_rng }
     }
 
     /// Shortest currently-effective retention among the row's weak cells,
     /// or `None` if the row has no weak cells.
     #[cfg_attr(not(test), allow(dead_code))]
     pub fn min_retention(&self) -> Option<Nanos> {
-        self.weak_cells.iter().map(WeakCell::effective_retention).min()
+        if self.cells.is_empty() {
+            None
+        } else {
+            Some(self.cells.min_effective())
+        }
     }
 
     /// Whether any weak cell of the row is VRT-afflicted.
     #[cfg_attr(not(test), allow(dead_code))]
     pub fn has_vrt(&self) -> bool {
-        self.weak_cells.iter().any(|c| c.vrt.is_some())
+        (0..self.cells.len()).any(|i| self.cells.is_vrt(i))
     }
 
     /// Advances the VRT Markov chain of every VRT cell by one observation
@@ -257,13 +338,20 @@ impl RowPhysics {
     /// ends (a restore after time has passed). The switch probability is
     /// passed in because the device may override the configured value
     /// during an injected VRT burst episode.
+    ///
+    /// Draws from the VRT RNG stream for VRT cells only, in cell order —
+    /// the exact draw discipline of every prior release, so seeded
+    /// simulations stay bit-for-bit reproducible.
     pub fn advance_vrt(&mut self, switch_prob: f64) {
-        for cell in &mut self.weak_cells {
-            if let Some(vrt) = &mut cell.vrt {
-                if self.vrt_rng.next_bool(switch_prob) {
-                    vrt.in_long = !vrt.in_long;
-                }
+        let mut toggled = false;
+        for i in 0..self.cells.len() {
+            if self.cells.is_vrt(i) && self.vrt_rng.next_bool(switch_prob) {
+                self.cells.vrt_in_long[i] = !self.cells.vrt_in_long[i];
+                toggled = true;
             }
+        }
+        if toggled {
+            self.cells.recompute_min();
         }
     }
 
@@ -300,9 +388,15 @@ pub(crate) fn window_flips(
     stored_bit: impl Fn(u32) -> bool,
 ) -> Vec<u32> {
     let mut flips = Vec::new();
-    for cell in &physics.weak_cells {
-        if elapsed > cell.effective_retention() && stored_bit(cell.bit) == cell.charged_value {
-            flips.push(cell.bit);
+    // The cached minimum gates the scan: a window no longer than every
+    // cell's effective retention cannot have decayed anything.
+    if elapsed > physics.cells.min_effective() {
+        for i in 0..physics.cells.len() {
+            if elapsed > physics.cells.effective_retention(i)
+                && stored_bit(physics.cells.bit(i)) == physics.cells.charged(i)
+            {
+                flips.push(physics.cells.bit(i));
+            }
         }
     }
     let hammer_flips = physics.hammer_flip_count(cfg, disturbance);
@@ -328,11 +422,10 @@ pub struct RowPhysicsView {
 
 impl RowPhysicsView {
     pub(crate) fn of(physics: &RowPhysics) -> Self {
+        let cells = &physics.cells;
         RowPhysicsView {
-            weak_cells: physics
-                .weak_cells
-                .iter()
-                .map(|c| (c.bit, c.retention, c.vrt.is_some()))
+            weak_cells: (0..cells.len())
+                .map(|i| (cells.bit(i), cells.retention(i), cells.is_vrt(i)))
                 .collect(),
             hc_base: physics.hc_base,
         }
@@ -369,9 +462,8 @@ mod tests {
     #[test]
     fn weak_row_fraction_close_to_config() {
         let c = cfg();
-        let weak = (0..20_000)
-            .filter(|&s| !RowPhysics::derive(&c, 3, s, 2048).weak_cells.is_empty())
-            .count();
+        let weak =
+            (0..20_000).filter(|&s| !RowPhysics::derive(&c, 3, s, 2048).cells.is_empty()).count();
         let frac = weak as f64 / 20_000.0;
         assert!((frac - c.weak_row_prob).abs() < 0.01, "observed {frac}");
     }
@@ -380,9 +472,10 @@ mod tests {
     fn retention_is_within_bounds() {
         let c = cfg();
         for s in 0..5_000 {
-            for cell in &RowPhysics::derive(&c, 5, s, 2048).weak_cells {
-                assert!(cell.retention >= c.retention_min);
-                assert!(cell.retention <= c.retention_max);
+            let p = RowPhysics::derive(&c, 5, s, 2048);
+            for i in 0..p.cells.len() {
+                assert!(p.cells.retention(i) >= c.retention_min);
+                assert!(p.cells.retention(i) <= c.retention_max);
             }
         }
     }
@@ -428,11 +521,14 @@ mod tests {
             .map(|s| RowPhysics::derive(&c, 11, s, 2048))
             .find(|p| p.has_vrt())
             .expect("some VRT row exists");
-        let initial: Vec<Nanos> = p.weak_cells.iter().map(WeakCell::effective_retention).collect();
+        let snapshot = |p: &RowPhysics| -> Vec<Nanos> {
+            (0..p.cells.len()).map(|i| p.cells.effective_retention(i)).collect()
+        };
+        let initial = snapshot(&p);
         let mut changed = false;
         for _ in 0..1_000 {
             p.advance_vrt(c.vrt_switch_prob);
-            let now: Vec<Nanos> = p.weak_cells.iter().map(WeakCell::effective_retention).collect();
+            let now = snapshot(&p);
             if now != initial {
                 changed = true;
                 break;
@@ -446,7 +542,7 @@ mod tests {
         let c = cfg();
         let mut p = (0..10_000)
             .map(|s| RowPhysics::derive(&c, 13, s, 2048))
-            .find(|p| !p.weak_cells.is_empty() && !p.has_vrt())
+            .find(|p| !p.cells.is_empty() && !p.has_vrt())
             .expect("some weak non-VRT row exists");
         let initial = p.min_retention();
         for _ in 0..1_000 {
@@ -460,21 +556,21 @@ mod tests {
         let c = cfg();
         let p = (0..10_000)
             .map(|s| RowPhysics::derive(&c, 17, s, 2048))
-            .find(|p| !p.weak_cells.is_empty())
+            .find(|p| !p.cells.is_empty())
             .expect("weak row exists");
-        let cell = &p.weak_cells[0];
-        let long = cell.effective_retention() + Nanos::from_ms(10_000);
+        let (bit, charged) = (p.cells.bit(0), p.cells.charged(0));
+        let long = p.cells.effective_retention(0) + Nanos::from_ms(10_000);
 
         // Stored at the charged value: decays.
-        let flips = window_flips(&p, &c, long, 0.0, 2048, |_| cell.charged_value);
-        assert!(flips.contains(&cell.bit));
+        let flips = window_flips(&p, &c, long, 0.0, 2048, |_| charged);
+        assert!(flips.contains(&bit));
 
         // Stored at the discharged value: nothing to lose.
-        let flips = window_flips(&p, &c, long, 0.0, 2048, |_| !cell.charged_value);
-        assert!(!flips.contains(&cell.bit));
+        let flips = window_flips(&p, &c, long, 0.0, 2048, |_| !charged);
+        assert!(!flips.contains(&bit));
 
         // Within retention: clean.
-        let flips = window_flips(&p, &c, Nanos::from_ms(1), 0.0, 2048, |_| cell.charged_value);
+        let flips = window_flips(&p, &c, Nanos::from_ms(1), 0.0, 2048, |_| charged);
         assert!(flips.is_empty());
     }
 
@@ -499,9 +595,11 @@ mod tests {
         for s in 0..200 {
             let p_hot = RowPhysics::derive(&hot, 7, s, 2048);
             let p_cool = RowPhysics::derive(&cool, 7, s, 2048);
-            for (a, b) in p_hot.weak_cells.iter().zip(&p_cool.weak_cells) {
-                assert_eq!(a.bit, b.bit, "same cells, different clock");
-                let ratio = b.retention.as_ns() as f64 / a.retention.as_ns() as f64;
+            assert_eq!(p_hot.cells.len(), p_cool.cells.len());
+            for i in 0..p_hot.cells.len() {
+                assert_eq!(p_hot.cells.bit(i), p_cool.cells.bit(i), "same cells, different clock");
+                let ratio = p_cool.cells.retention(i).as_ns() as f64
+                    / p_hot.cells.retention(i).as_ns() as f64;
                 assert!((ratio - 16.0).abs() < 0.01, "ratio {ratio}");
             }
         }
@@ -514,7 +612,7 @@ mod tests {
         assert_eq!(hotter.retention_scale(), 0.5);
         let p = (0..500)
             .map(|s| RowPhysics::derive(&hotter, 9, s, 2048))
-            .find(|p| !p.weak_cells.is_empty())
+            .find(|p| !p.cells.is_empty())
             .unwrap();
         let reference = RowPhysics::derive(&cfg(), 9, 0, 2048);
         let _ = reference;
@@ -534,10 +632,29 @@ mod tests {
         let c = cfg();
         let p = (0..10_000)
             .map(|s| RowPhysics::derive(&c, 23, s, 2048))
-            .find(|p| !p.weak_cells.is_empty())
+            .find(|p| !p.cells.is_empty())
             .unwrap();
         let view = RowPhysicsView::of(&p);
-        assert_eq!(view.min_retention(), p.min_retention());
+        assert_eq!(view.weak_cells.len(), p.cells.len());
         assert_eq!(view.hc_base, p.hc_base);
+    }
+
+    #[test]
+    fn min_effective_cache_tracks_vrt_transitions() {
+        let c = cfg();
+        let brute = |p: &RowPhysics| -> Nanos {
+            (0..p.cells.len())
+                .map(|i| p.cells.effective_retention(i))
+                .min()
+                .unwrap_or(Nanos::from_ns(u64::MAX))
+        };
+        for s in 0..200 {
+            let mut p = RowPhysics::derive(&c, 29, s, 2048);
+            assert_eq!(p.cells.min_effective(), brute(&p), "stale cache at derive, stream {s}");
+            for _ in 0..50 {
+                p.advance_vrt(c.vrt_switch_prob);
+                assert_eq!(p.cells.min_effective(), brute(&p), "stale cache after VRT step");
+            }
+        }
     }
 }

@@ -108,7 +108,6 @@ impl Gauge {
 #[derive(Debug)]
 struct HistogramCore {
     bins: [AtomicU64; BIN_COUNT],
-    count: AtomicU64,
     sum: AtomicU64,
     min: AtomicU64,
     max: AtomicU64,
@@ -118,7 +117,6 @@ impl Default for HistogramCore {
     fn default() -> Self {
         HistogramCore {
             bins: std::array::from_fn(|_| AtomicU64::new(0)),
-            count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
             min: AtomicU64::new(u64::MAX),
             max: AtomicU64::new(0),
@@ -147,20 +145,31 @@ impl Histogram {
         if n == 0 {
             return;
         }
+        // The device hot paths record one histogram observation per
+        // command, so every atomic here is paid millions of times per
+        // run. The total count is derivable from the bins (each record
+        // lands in exactly one), and min/max stabilize after the first
+        // few observations — a relaxed load screens out the RMW in the
+        // overwhelmingly common no-change case. Net: two RMWs per
+        // record instead of five.
         let core = &*self.core;
         core.bins[bin_index(value)].fetch_add(n, Ordering::Relaxed);
-        core.count.fetch_add(n, Ordering::Relaxed);
         core.sum.fetch_add(value.wrapping_mul(n), Ordering::Relaxed);
-        core.min.fetch_min(value, Ordering::Relaxed);
-        core.max.fetch_max(value, Ordering::Relaxed);
+        if core.min.load(Ordering::Relaxed) > value {
+            core.min.fetch_min(value, Ordering::Relaxed);
+        }
+        if core.max.load(Ordering::Relaxed) < value {
+            core.max.fetch_max(value, Ordering::Relaxed);
+        }
     }
 
     /// A point-in-time copy of the distribution.
     pub fn snapshot(&self) -> HistogramSnapshot {
         let core = &*self.core;
+        let bins: [u64; BIN_COUNT] = std::array::from_fn(|b| core.bins[b].load(Ordering::Relaxed));
         HistogramSnapshot {
-            bins: std::array::from_fn(|b| core.bins[b].load(Ordering::Relaxed)),
-            count: core.count.load(Ordering::Relaxed),
+            count: bins.iter().sum(),
+            bins,
             sum: core.sum.load(Ordering::Relaxed),
             min: core.min.load(Ordering::Relaxed),
             max: core.max.load(Ordering::Relaxed),
@@ -261,6 +270,16 @@ struct EventBuffer {
     dropped: u64,
 }
 
+/// Relaxed mirror of the event buffer's fill level, maintained under
+/// the buffer lock. Lets `event()` skip the mutex entirely once the
+/// buffer is full — a long run emits far more events than the capacity
+/// holds, and the overflow path must not serialize worker threads.
+#[derive(Debug, Default)]
+struct EventGate {
+    full: AtomicBool,
+    dropped: AtomicU64,
+}
+
 /// The central sink all layers report into.
 ///
 /// Construction is cheap; the simulator gives every `Module` a private
@@ -273,6 +292,7 @@ pub struct MetricsRegistry {
     gauges: Mutex<BTreeMap<String, Gauge>>,
     histograms: Mutex<BTreeMap<String, Histogram>>,
     events: Mutex<EventBuffer>,
+    event_gate: EventGate,
     spans: SpanCollector,
     detail: AtomicBool,
     recorder: OnceLock<Arc<FlightRecorder>>,
@@ -334,8 +354,16 @@ impl MetricsRegistry {
         if !self.detail_enabled() {
             return;
         }
+        // Once the buffer has filled, every further event is a drop —
+        // tally it on the lock-free gate instead of serializing the
+        // worker threads on the buffer mutex.
+        if self.event_gate.full.load(Ordering::Relaxed) {
+            self.event_gate.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
         let mut buffer = self.events.lock().unwrap();
         if buffer.events.len() >= EVENT_CAPACITY {
+            self.event_gate.full.store(true, Ordering::Relaxed);
             buffer.dropped += 1;
             return;
         }
@@ -344,6 +372,9 @@ impl MetricsRegistry {
             kind: kind.to_string(),
             fields: fields.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
         });
+        if buffer.events.len() >= EVENT_CAPACITY {
+            self.event_gate.full.store(true, Ordering::Relaxed);
+        }
     }
 
     /// Installs a flight recorder and arms the tracing fast-gate.
@@ -438,7 +469,7 @@ impl MetricsRegistry {
     /// Buffered events in arrival order, plus how many overflowed.
     pub fn events_snapshot(&self) -> (Vec<EventRecord>, u64) {
         let buffer = self.events.lock().unwrap();
-        (buffer.events.clone(), buffer.dropped)
+        (buffer.events.clone(), buffer.dropped + self.event_gate.dropped.load(Ordering::Relaxed))
     }
 
     /// Closed spans in completion order, plus how many the ring

@@ -328,6 +328,11 @@ impl MitigationEngine for CounterTrr {
         self.registry = Some(std::sync::Arc::clone(registry));
     }
 
+    fn detects_inline(&self) -> bool {
+        // Counter-based TRR only acts at `REF` (tREFab/tREFsb piggyback).
+        false
+    }
+
     fn reset(&mut self) {
         let capacity = self.config.table_size;
         for table in &mut self.banks {

@@ -257,6 +257,11 @@ impl MitigationEngine for SamplerTrr {
         self.registry = Some(std::sync::Arc::clone(registry));
     }
 
+    fn detects_inline(&self) -> bool {
+        // Sampler-based TRR only acts on the registers at `REF`.
+        false
+    }
+
     fn reset(&mut self) {
         for r in &mut self.registers {
             *r = None;

@@ -268,6 +268,11 @@ impl MitigationEngine for WindowTrr {
         self.det_ctr = Some(registry.counter(&format!("trr.{}.detections", self.name)));
     }
 
+    fn detects_inline(&self) -> bool {
+        // Window-based TRR empties its candidate slots at `REF` only.
+        false
+    }
+
     fn reset(&mut self) {
         let capture_prob = self.config.capture_prob;
         self.rng = SplitMix64::new(self.seed);
