@@ -8,8 +8,15 @@
 //! the repo stays on file.
 //!
 //! Usage:
-//!   bench-regress --current PATH [--baseline PATH] [--threshold PCT]
-//!                 [--history PATH] [--update-baseline]
+//!   bench-regress --current PATH[,PATH...] [--baseline PATH]
+//!                 [--threshold PCT] [--history PATH] [--update-baseline]
+//!
+//! `--current` accepts a comma-separated list of artifacts (e.g. the
+//! `repro-table1` and `repro-fleet` runs of one CI job); their phases
+//! and scalars are unioned into one record before the comparison, and
+//! the baseline/history writes store the merged artifact. A phase or
+//! scalar name appearing in two artifacts is a hard error — a silent
+//! last-wins would hide a real measurement.
 //!
 //! The threshold (percent, default 15) can also come from the
 //! `UTRR_BENCH_THRESHOLD` environment variable; the explicit flag wins.
@@ -26,6 +33,7 @@ use obs::jsonl::{parse_json, JsonValue};
 use utrr_bench::{arg_flag, arg_value};
 
 struct BenchRecord {
+    threads: usize,
     phases: Vec<(String, f64)>,
     scalars: Vec<(String, f64)>,
 }
@@ -61,13 +69,61 @@ fn load(path: &str) -> BenchRecord {
         }
         _ => Vec::new(),
     };
-    BenchRecord { phases, scalars }
+    let threads = value.get("threads").and_then(JsonValue::as_u64).unwrap_or(0) as usize;
+    BenchRecord { threads, phases, scalars }
+}
+
+/// Loads one or more comma-separated current artifacts, unioning their
+/// phases and scalars. Returns the merged record plus the artifact text
+/// the baseline/history writes should store (the raw file for a single
+/// artifact, a re-rendered merged one otherwise).
+fn load_current(spec: &str) -> (BenchRecord, String) {
+    let paths: Vec<&str> = spec.split(',').filter(|p| !p.is_empty()).collect();
+    if paths.is_empty() {
+        eprintln!("error: --current lists no artifacts");
+        std::process::exit(2);
+    }
+    if let [path] = paths[..] {
+        let text = std::fs::read_to_string(path).expect("just loaded");
+        return (load(path), format!("{}\n", text.trim()));
+    }
+    let mut merged = BenchRecord { threads: 0, phases: Vec::new(), scalars: Vec::new() };
+    for path in paths {
+        let part = load(path);
+        if merged.threads == 0 {
+            merged.threads = part.threads;
+        }
+        for (name, ms) in part.phases {
+            if merged.phases.iter().any(|(n, _)| *n == name) {
+                eprintln!("error: phase {name} appears in more than one --current artifact");
+                std::process::exit(2);
+            }
+            merged.phases.push((name, ms));
+        }
+        for (name, value) in part.scalars {
+            if merged.scalars.iter().any(|(n, _)| *n == name) {
+                eprintln!("error: scalar {name} appears in more than one --current artifact");
+                std::process::exit(2);
+            }
+            merged.scalars.push((name, value));
+        }
+    }
+    // Re-render through the artifact writer so the stored merged record
+    // is schema-identical to a directly produced one.
+    let mut artifact = utrr_bench::BenchPhases::new(merged.threads);
+    for (name, ms) in &merged.phases {
+        artifact.record(name, std::time::Duration::from_secs_f64(ms / 1e3));
+    }
+    for (name, value) in &merged.scalars {
+        artifact.scalar(name, *value);
+    }
+    (merged, artifact.to_json())
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(current_path) = arg_value(&args, "--current") else {
-        eprintln!("usage: bench-regress --current PATH [--baseline PATH] [--threshold PCT] [--history PATH] [--update-baseline]");
+        eprintln!("usage: bench-regress --current PATH[,PATH...] [--baseline PATH] [--threshold PCT] [--history PATH] [--update-baseline]");
         std::process::exit(2);
     };
     let update_baseline = arg_flag(&args, "--update-baseline");
@@ -79,7 +135,7 @@ fn main() {
         .unwrap_or(15.0);
 
     let baseline = load(&baseline_path);
-    let current = load(&current_path);
+    let (current, current_artifact) = load_current(&current_path);
 
     println!("# bench-regress — current {current_path} vs baseline {baseline_path} (threshold {threshold}%)");
     let mut regressions = 0u32;
@@ -151,8 +207,7 @@ fn main() {
     let history_path = arg_value(&args, "--history")
         .or_else(|| update_baseline.then(|| "BENCH_history.jsonl".to_string()));
     if let Some(history_path) = history_path {
-        let line = std::fs::read_to_string(&current_path).expect("current artifact re-readable");
-        let mut record = String::from(line.trim());
+        let mut record = String::from(current_artifact.trim());
         record.push('\n');
         use std::io::Write as _;
         let mut file = std::fs::OpenOptions::new()
@@ -168,9 +223,7 @@ fn main() {
     }
 
     if update_baseline {
-        let artifact =
-            std::fs::read_to_string(&current_path).expect("current artifact re-readable");
-        std::fs::write(&baseline_path, artifact).unwrap_or_else(|e| {
+        std::fs::write(&baseline_path, &current_artifact).unwrap_or_else(|e| {
             eprintln!("error: cannot rewrite baseline {baseline_path}: {e}");
             std::process::exit(2);
         });

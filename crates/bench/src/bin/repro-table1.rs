@@ -28,21 +28,12 @@ use std::collections::HashMap;
 use attacks::eval::{BankSweep, EvalConfig};
 use faults::FaultProfile;
 use utrr_bench::{
-    arg_flag, arg_value, attack_columns, device_ns_per_act, emit_metrics, emit_trace, fault_args,
-    install_trace, measure_hc_first_faulty, metrics_out_path, par_config, re_input_key,
-    reverse_engineer_module_faulty, run_registry, threads_arg, trace_args, BenchPhases, ReOutcome,
+    arg_flag, arg_value, attack_columns, detection_label, device_ns_per_act, emit_metrics,
+    emit_trace, fault_args, install_trace, measure_hc_first_faulty, metrics_out_path, par_config,
+    re_input_key, reverse_engineer_module_faulty, run_registry, threads_arg, trace_args,
+    BenchPhases, ReOutcome,
 };
-use utrr_core::reverse::DetectionKind;
 use utrr_modules::{catalog, ModuleSpec};
-
-fn detection_label(d: &DetectionKind) -> String {
-    match d {
-        DetectionKind::Counter { capacity, .. } => format!("Counter({capacity})"),
-        DetectionKind::Sampler { shared_across_banks: true } => "Sampler(shared)".into(),
-        DetectionKind::Sampler { shared_across_banks: false } => "Sampler(per-bank)".into(),
-        DetectionKind::Window { max_window } => format!("Window(≤{max_window})"),
-    }
-}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();

@@ -112,6 +112,29 @@ pub fn reverse_engineer_module_faulty(
     fault_profile: FaultProfile,
     fault_seed: u64,
 ) -> ReOutcome {
+    try_reverse_engineer_module_faulty(spec, rows, seed, registry, fault_profile, fault_seed)
+        .unwrap_or_else(|e| panic!("reverse-engineering {}: {e}", spec.id))
+}
+
+/// The fallible core of [`reverse_engineer_module_faulty`]: identical
+/// pipeline, but scout shortfalls and non-converging measurements come
+/// back as errors instead of panics. Sweeps over arbitrary seeds (the
+/// fleet executor) retry with a different experiment seed on `Err`;
+/// the fixed-seed repro binaries keep the panicking wrapper.
+///
+/// # Errors
+///
+/// Propagates the first [`utrr_core::UtrrError`] of the suite: not
+/// enough row groups, failed classification experiments, or a
+/// non-converging refresh-schedule learner.
+pub fn try_reverse_engineer_module_faulty(
+    spec: &ModuleSpec,
+    rows: u32,
+    seed: u64,
+    registry: Option<&std::sync::Arc<obs::MetricsRegistry>>,
+    fault_profile: FaultProfile,
+    fault_seed: u64,
+) -> Result<ReOutcome, utrr_core::UtrrError> {
     let mut module = spec.build_scaled(rows, seed);
     if let Some(registry) = registry {
         module.attach_registry(std::sync::Arc::clone(registry));
@@ -121,12 +144,9 @@ pub fn reverse_engineer_module_faulty(
     let bank = Bank::new(0);
     let pair_layout = RowGroupLayout::single_aggressor_pair();
     // 18 pair groups give the counter-capacity sweep room up to 17.
-    let groups = RowScout::new(ScoutConfig::new(bank, rows, pair_layout, 18))
-        .scan(&mut mc)
-        .expect("row scout finds pair groups");
+    let groups = RowScout::new(ScoutConfig::new(bank, rows, pair_layout, 18)).scan(&mut mc)?;
     let probe = RowScout::new(ScoutConfig::new(bank, rows, RowGroupLayout::neighbor_probe(), 1))
-        .scan(&mut mc)
-        .expect("row scout finds the neighbour probe")
+        .scan(&mut mc)?
         .remove(0);
     // A second-bank group for the shared-sampler test.
     let other_bank = Bank::new(1);
@@ -136,8 +156,7 @@ pub fn reverse_engineer_module_faulty(
         RowGroupLayout::single_aggressor_pair(),
         1,
     ))
-    .scan(&mut mc)
-    .expect("row scout finds a cross-bank group")
+    .scan(&mut mc)?
     .remove(0);
 
     let opts = ReverseOptions {
@@ -146,11 +165,8 @@ pub fn reverse_engineer_module_faulty(
         long_iterations: 400,
     };
     let profile =
-        reverse::classify(&mut mc, bank, &groups, &probe, Some((other_bank, &cross)), &opts)
-            .expect("classification experiments run");
-    let refresh_period = learn_refresh_schedule(&mut mc, &groups[0], bank)
-        .expect("schedule learner converges")
-        .period;
+        reverse::classify(&mut mc, bank, &groups, &probe, Some((other_bank, &cross)), &opts)?;
+    let refresh_period = learn_refresh_schedule(&mut mc, &groups[0], bank)?.period;
 
     let detection_matches = matches!(
         (&profile.detection, spec.detection),
@@ -177,7 +193,7 @@ pub fn reverse_engineer_module_faulty(
         per_bank: profile.per_bank == spec.per_bank_trr,
         refresh_period: refresh_period == spec.refresh().period_refs as u64,
     };
-    ReOutcome { id: spec.id.clone(), profile, refresh_period, matches }
+    Ok(ReOutcome { id: spec.id.clone(), profile, refresh_period, matches })
 }
 
 /// Measures `HC_first` (footnote 1) on a module built from its spec,
@@ -335,6 +351,17 @@ pub fn re_input_key(spec: &ModuleSpec) -> String {
         spec.physics(),
         spec.refresh(),
     )
+}
+
+/// Compact human-readable label for an inferred detection mechanism —
+/// the form both Table 1 and the fleet records print.
+pub fn detection_label(d: &DetectionKind) -> String {
+    match d {
+        DetectionKind::Counter { capacity, .. } => format!("Counter({capacity})"),
+        DetectionKind::Sampler { shared_across_banks: true } => "Sampler(shared)".into(),
+        DetectionKind::Sampler { shared_across_banks: false } => "Sampler(per-bank)".into(),
+        DetectionKind::Window { max_window } => format!("Window(≤{max_window})"),
+    }
 }
 
 /// A tiny ASCII sparkline box for a five-number summary, for terminal

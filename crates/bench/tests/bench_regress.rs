@@ -136,3 +136,68 @@ fn update_baseline_rewrites_and_appends_history() {
     assert!(out.status.success());
     assert_eq!(std::fs::read_to_string(&history).unwrap().lines().count(), 2);
 }
+
+#[test]
+fn multi_current_unions_disjoint_artifacts() {
+    let dir = tmpdir("multi");
+    let base = artifact(
+        &dir,
+        "base.json",
+        &[("table1", 100.0), ("fleet_sweep", 500.0)],
+        &[("fleet_modules_per_sec", 10.0)],
+    );
+    let cur_a = artifact(&dir, "cur_a.json", &[("table1", 104.0)], &[]);
+    let cur_b =
+        artifact(&dir, "cur_b.json", &[("fleet_sweep", 510.0)], &[("fleet_modules_per_sec", 9.9)]);
+    let spec = format!("{},{}", cur_a.to_str().unwrap(), cur_b.to_str().unwrap());
+    let out = run(&["--current", &spec, "--baseline", base.to_str().unwrap()]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "stdout: {stdout}");
+    assert!(stdout.contains("table1"), "{stdout}");
+    assert!(stdout.contains("fleet_sweep"), "{stdout}");
+    assert!(stdout.contains("fleet_modules_per_sec"), "{stdout}");
+    assert!(stdout.contains("no regressions"), "{stdout}");
+}
+
+#[test]
+fn multi_current_updates_baseline_with_the_merged_artifact() {
+    let dir = tmpdir("multi-update");
+    let base = artifact(&dir, "base.json", &[("table1", 100.0)], &[]);
+    let cur_a = artifact(&dir, "cur_a.json", &[("table1", 104.0)], &[]);
+    let cur_b = artifact(&dir, "cur_b.json", &[("fleet_sweep", 510.0)], &[("rate_per_sec", 9.9)]);
+    let spec = format!("{},{}", cur_a.to_str().unwrap(), cur_b.to_str().unwrap());
+    let history = dir.join("history.jsonl");
+    let out = run(&[
+        "--current",
+        &spec,
+        "--baseline",
+        base.to_str().unwrap(),
+        "--history",
+        history.to_str().unwrap(),
+        "--update-baseline",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+    // The rewritten baseline and the history record hold the union, and
+    // still parse as a utrr-bench/1 artifact (a follow-up gate accepts
+    // them as a baseline).
+    let rewritten = std::fs::read_to_string(&base).unwrap();
+    for needle in ["utrr-bench/1", "table1", "fleet_sweep", "rate_per_sec"] {
+        assert!(rewritten.contains(needle), "{rewritten}");
+    }
+    assert_eq!(std::fs::read_to_string(&history).unwrap().trim(), rewritten.trim());
+    let out = run(&["--current", &spec, "--baseline", base.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+}
+
+#[test]
+fn multi_current_duplicate_names_are_rejected() {
+    let dir = tmpdir("multi-dup");
+    let base = artifact(&dir, "base.json", &[("table1", 100.0)], &[]);
+    let cur_a = artifact(&dir, "cur_a.json", &[("table1", 104.0)], &[]);
+    let cur_b = artifact(&dir, "cur_b.json", &[("table1", 99.0)], &[]);
+    let spec = format!("{},{}", cur_a.to_str().unwrap(), cur_b.to_str().unwrap());
+    let out = run(&["--current", &spec, "--baseline", base.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("more than one --current artifact"), "{stderr}");
+}

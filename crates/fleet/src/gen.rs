@@ -1,0 +1,123 @@
+//! Seeded synthetic-module generator.
+//!
+//! Each synthetic module is a perturbation of one Table-1 anchor: the
+//! anchor fixes the organisation (vendor, banks, pins, density) and the
+//! ground-truth TRR engine, while the generator spreads the per-die
+//! quantities around it — `HC_first`, the vulnerable-row fraction, the
+//! flip ceiling, the weak-cell retention window, and the scaled bank
+//! geometry the sweep builds.
+//!
+//! Everything is a pure function of `(fleet_seed, module_index)`:
+//! [`module_seed`] derives one SplitMix64 stream per module, so module
+//! *i* is byte-identical regardless of shard layout, thread count, or
+//! which other modules exist. The perturbation envelopes are public
+//! constants so the property suite can pin them.
+
+use dram_sim::rng::{derive_seed, SplitMix64};
+use utrr_modules::{catalog, ModuleSpec};
+
+/// Stream salt separating fleet module seeds from every other consumer
+/// of `derive_seed` on the same base seed.
+const FLEET_STREAM_SALT: u64 = 0xF1EE_7000_0000_0001;
+
+/// Multiplicative envelope for `HC_first` around its anchor.
+pub const HC_FIRST_ENVELOPE: (f64, f64) = (0.8, 1.25);
+/// Multiplicative envelope for the weak-cell retention window.
+pub const RETENTION_ENVELOPE: (f64, f64) = (0.8, 1.25);
+/// Multiplicative envelope for the vulnerable-row percentage.
+pub const VULNERABLE_ENVELOPE: (f64, f64) = (0.85, 1.15);
+/// Multiplicative envelope for the per-hammer flip ceiling.
+pub const FLIPS_ENVELOPE: (f64, f64) = (0.85, 1.15);
+/// Additive geometry steps (rows per bank) on top of the base size.
+pub const ROWS_STEPS: [u32; 3] = [0, 128, 256];
+
+/// One synthesised module: the spec the pipeline characterises plus the
+/// provenance needed to reproduce or audit it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthModule {
+    /// Position in the fleet population.
+    pub index: u64,
+    /// The module seed every pipeline stage derives its stream from.
+    pub seed: u64,
+    /// Table-1 anchor the module was perturbed from.
+    pub anchor_id: String,
+    /// Scaled rows-per-bank the sweep builds this module at.
+    pub rows: u32,
+    /// The synthesised spec (ground truth included).
+    pub spec: ModuleSpec,
+}
+
+/// The per-module seed: a pure function of `(fleet_seed, index)`.
+pub fn module_seed(fleet_seed: u64, index: u64) -> u64 {
+    derive_seed(fleet_seed ^ FLEET_STREAM_SALT, index)
+}
+
+/// Uniform draw from a multiplicative envelope.
+fn factor(rng: &mut SplitMix64, envelope: (f64, f64)) -> f64 {
+    envelope.0 + (envelope.1 - envelope.0) * rng.next_f64()
+}
+
+/// Synthesises module `index` of the fleet seeded by `fleet_seed`,
+/// built at `base_rows` rows per bank (plus a small per-module geometry
+/// step). `base_rows` must be large enough for the reverse-engineering
+/// suite (the executor enforces ≥ 2048).
+pub fn synth_spec(fleet_seed: u64, index: u64, base_rows: u32) -> SynthModule {
+    let seed = module_seed(fleet_seed, index);
+    let mut rng = SplitMix64::new(derive_seed(seed, 1));
+    let anchors = catalog();
+    let anchor = &anchors[(rng.next_u64() % anchors.len() as u64) as usize];
+
+    let mut spec = anchor.clone();
+    spec.id = format!("S{index:06}");
+    spec.hc_first = ((anchor.hc_first as f64 * factor(&mut rng, HC_FIRST_ENVELOPE)) as u64).max(1);
+    spec.retention_scale = factor(&mut rng, RETENTION_ENVELOPE);
+    let vuln_factor = factor(&mut rng, VULNERABLE_ENVELOPE);
+    let scale_pct = |v: f64| (v * vuln_factor).clamp(0.5, 99.9);
+    spec.paper_vulnerable_pct =
+        (scale_pct(anchor.paper_vulnerable_pct.0), scale_pct(anchor.paper_vulnerable_pct.1));
+    let flips_factor = factor(&mut rng, FLIPS_ENVELOPE);
+    spec.paper_max_flips_per_hammer = (
+        (anchor.paper_max_flips_per_hammer.0 * flips_factor).max(0.01),
+        (anchor.paper_max_flips_per_hammer.1 * flips_factor).max(0.01),
+    );
+    let rows = base_rows + ROWS_STEPS[(rng.next_u64() % ROWS_STEPS.len() as u64) as usize];
+
+    SynthModule { index, seed, anchor_id: anchor.id.clone(), rows, spec }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use utrr_modules::by_id;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = synth_spec(42, 17, 2048);
+        let b = synth_spec(42, 17, 2048);
+        assert_eq!(a, b);
+        assert_ne!(a.spec, synth_spec(42, 18, 2048).spec);
+        assert_ne!(a.spec, synth_spec(43, 17, 2048).spec);
+    }
+
+    #[test]
+    fn spec_stays_inside_the_anchor_envelope() {
+        for index in 0..64 {
+            let synth = synth_spec(7, index, 2048);
+            let anchor = by_id(&synth.anchor_id).expect("anchor exists");
+            let hc = synth.spec.hc_first as f64 / anchor.hc_first as f64;
+            assert!((HC_FIRST_ENVELOPE.0..=HC_FIRST_ENVELOPE.1).contains(&hc), "hc factor {hc}");
+            assert!(
+                (RETENTION_ENVELOPE.0..=RETENTION_ENVELOPE.1).contains(&synth.spec.retention_scale)
+            );
+            assert_eq!(synth.spec.trr_version, anchor.trr_version);
+            assert_eq!(synth.spec.banks, anchor.banks);
+            assert!(ROWS_STEPS.iter().any(|&s| synth.rows == 2048 + s));
+        }
+    }
+
+    #[test]
+    fn ids_encode_the_index() {
+        assert_eq!(synth_spec(1, 0, 2048).spec.id, "S000000");
+        assert_eq!(synth_spec(1, 123_456, 2048).spec.id, "S123456");
+    }
+}

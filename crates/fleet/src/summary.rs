@@ -1,0 +1,276 @@
+//! Fleet-report aggregation: turns a `utrr-fleet/1` stream back into a
+//! Table-1-style population view.
+//!
+//! Per TRR variant the summary tracks the population share, the
+//! reverse-engineering match rate, and a log₂-binned histogram of the
+//! *measured* `HC_first`; variant histograms are merged via
+//! [`HistogramSnapshot::merge`] into the fleet-wide distribution, so
+//! quantiles come from one pass over the stream regardless of how many
+//! shards produced it. Recovery counters (scout retries, quarantined
+//! rows, injected faults) are totalled fleet-wide and the noisiest
+//! modules are called out, making `--faults mild` sweeps auditable from
+//! the report alone.
+
+use obs::jsonl::parse_jsonl;
+use obs::metrics::{Histogram, HistogramSnapshot};
+
+use crate::record::FleetRecord;
+
+/// Aggregate over one TRR variant's sub-population.
+#[derive(Debug, Clone)]
+pub struct VariantStats {
+    /// Ground-truth TRR version (e.g. `B_TRR1`).
+    pub trr_version: String,
+    /// Modules carrying this variant.
+    pub count: u64,
+    /// Modules whose full reverse-engineered profile matched the
+    /// planted ground truth.
+    pub re_matches: u64,
+    /// Distribution of measured `HC_first` across the sub-population.
+    pub hc_measured: HistogramSnapshot,
+    /// Sum of the vulnerable-row percentages (for the mean).
+    pub vulnerable_pct_sum: f64,
+}
+
+/// Aggregate over one whole fleet stream.
+#[derive(Debug, Clone)]
+pub struct FleetSummary {
+    /// Modules summarised.
+    pub modules: u64,
+    /// Modules with a fully matching reverse-engineered profile.
+    pub re_matches: u64,
+    /// Per-variant stats, sorted by TRR version.
+    pub variants: Vec<VariantStats>,
+    /// Fleet-wide measured `HC_first` distribution (variant merge).
+    pub hc_measured: HistogramSnapshot,
+    /// Total Row Scout validation retries across the fleet.
+    pub scout_retries: u64,
+    /// Total rows quarantined by the Row Scout.
+    pub scout_quarantined: u64,
+    /// Total faults injected across every module pipeline.
+    pub faults_injected: u64,
+    /// Total reverse-engineering retries (extra experiment seeds).
+    pub re_retries: u64,
+    /// Total majority-voted read disagreements.
+    pub read_disagreements: u64,
+    /// The modules with the most recovery activity
+    /// (retries + quarantines), up to five, noisiest first.
+    pub noisiest: Vec<(String, u64)>,
+}
+
+impl FleetSummary {
+    /// Aggregates in-memory records.
+    pub fn from_records(records: &[FleetRecord]) -> FleetSummary {
+        let mut variants: Vec<(String, u64, u64, Histogram, f64)> = Vec::new();
+        let mut recovery: Vec<(String, u64)> = Vec::new();
+        let mut summary = FleetSummary {
+            modules: records.len() as u64,
+            re_matches: 0,
+            variants: Vec::new(),
+            hc_measured: HistogramSnapshot::default(),
+            scout_retries: 0,
+            scout_quarantined: 0,
+            faults_injected: 0,
+            re_retries: 0,
+            read_disagreements: 0,
+            noisiest: Vec::new(),
+        };
+        for r in records {
+            summary.re_matches += u64::from(r.re_match);
+            summary.re_retries += u64::from(r.re_attempts.saturating_sub(1));
+            summary.scout_retries += r.scout_retries;
+            summary.scout_quarantined += r.scout_quarantined;
+            summary.faults_injected += r.faults_injected;
+            summary.read_disagreements += r.read_disagreements;
+            let slot = match variants.iter().position(|(v, ..)| *v == r.trr_version) {
+                Some(i) => &mut variants[i],
+                None => {
+                    variants.push((r.trr_version.clone(), 0, 0, Histogram::default(), 0.0));
+                    variants.last_mut().expect("just pushed")
+                }
+            };
+            slot.1 += 1;
+            slot.2 += u64::from(r.re_match);
+            slot.3.record(r.hc_first_measured);
+            slot.4 += r.vulnerable_pct;
+            let noise = r.scout_retries + r.scout_quarantined;
+            if noise > 0 {
+                recovery.push((r.id.clone(), noise));
+            }
+        }
+        variants.sort_by(|a, b| a.0.cmp(&b.0));
+        for (trr_version, count, re_matches, hist, vulnerable_pct_sum) in variants {
+            let hc_measured = hist.snapshot();
+            summary.hc_measured = summary.hc_measured.merge(&hc_measured);
+            summary.variants.push(VariantStats {
+                trr_version,
+                count,
+                re_matches,
+                hc_measured,
+                vulnerable_pct_sum,
+            });
+        }
+        recovery.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        recovery.truncate(5);
+        summary.noisiest = recovery;
+        summary
+    }
+
+    /// Aggregates a `utrr-fleet/1` JSONL stream (the meta line and any
+    /// unparsable records are skipped; their count is reported).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the text is not parsable JSONL at all.
+    pub fn from_jsonl(text: &str) -> Result<(FleetSummary, u64), String> {
+        let values = parse_jsonl(text).map_err(|e| format!("fleet stream unparsable: {e}"))?;
+        let mut records = Vec::new();
+        let mut skipped = 0u64;
+        for value in &values {
+            match FleetRecord::from_json(value) {
+                Some(record) => records.push(record),
+                // The meta line lands here by design.
+                None => skipped += 1,
+            }
+        }
+        Ok((FleetSummary::from_records(&records), skipped))
+    }
+
+    /// Renders the Table-1-style fleet report (deterministic text).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "fleet summary: {} modules, RE match {}/{} ({:.1}%)\n\n",
+            self.modules,
+            self.re_matches,
+            self.modules,
+            pct(self.re_matches, self.modules)
+        ));
+        out.push_str(
+            "TRR variant    modules   share    RE match   HC_first p10/p50/p90      vuln%\n",
+        );
+        for v in &self.variants {
+            let q = |p: f64| v.hc_measured.quantile(p).unwrap_or(0);
+            out.push_str(&format!(
+                "{:<14} {:>7}  {:>5.1}%   {:>7.1}%   {:>6}/{:>6}/{:>6}   {:>7.2}\n",
+                v.trr_version,
+                v.count,
+                pct(v.count, self.modules),
+                pct(v.re_matches, v.count),
+                q(0.10),
+                q(0.50),
+                q(0.90),
+                if v.count == 0 { 0.0 } else { v.vulnerable_pct_sum / v.count as f64 },
+            ));
+        }
+        let q = |p: f64| self.hc_measured.quantile(p).unwrap_or(0);
+        out.push_str(&format!(
+            "\nfleet HC_first: min {} / p50 {} / p90 {} / max {}\n",
+            self.hc_measured.quantile(0.0).unwrap_or(0),
+            q(0.50),
+            q(0.90),
+            self.hc_measured.quantile(1.0).unwrap_or(0),
+        ));
+        out.push_str(&format!(
+            "recovery: {} scout retries, {} quarantined rows, {} injected faults, \
+             {} read disagreements, {} RE retries\n",
+            self.scout_retries,
+            self.scout_quarantined,
+            self.faults_injected,
+            self.read_disagreements,
+            self.re_retries
+        ));
+        if !self.noisiest.is_empty() {
+            out.push_str("noisiest modules (retries+quarantines):");
+            for (id, noise) in &self.noisiest {
+                out.push_str(&format!(" {id}={noise}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn pct(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        100.0 * part as f64 / whole as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(i: u64, trr: &str, hc: u64, re_match: bool, retries: u64) -> FleetRecord {
+        FleetRecord {
+            index: i,
+            id: format!("S{i:06}"),
+            anchor: "A1".into(),
+            vendor: "A".into(),
+            trr_version: trr.into(),
+            banks: 16,
+            rows: 2048,
+            seed: i,
+            retention_scale: 1.0,
+            hc_first_gt: hc,
+            re_match,
+            re_attempts: 1,
+            ratio: 2,
+            neighbors: 2,
+            detection: "Counter(16)".into(),
+            per_bank: true,
+            refresh_period: 8192,
+            hc_first_measured: hc,
+            vulnerable_pct: 50.0,
+            max_flips_per_hammer: 1.0,
+            max_flips_per_word: 1,
+            scout_retries: retries,
+            scout_quarantined: 0,
+            faults_injected: retries * 3,
+            reads_voted: 100,
+            read_disagreements: retries,
+            write_retries: 0,
+        }
+    }
+
+    #[test]
+    fn aggregates_variants_and_merges_histograms() {
+        let records = vec![
+            record(0, "A_TRR1", 10_000, true, 0),
+            record(1, "A_TRR1", 30_000, true, 2),
+            record(2, "B_TRR2", 20_000, false, 5),
+        ];
+        let summary = FleetSummary::from_records(&records);
+        assert_eq!(summary.modules, 3);
+        assert_eq!(summary.re_matches, 2);
+        assert_eq!(summary.variants.len(), 2);
+        assert_eq!(summary.variants[0].trr_version, "A_TRR1");
+        assert_eq!(summary.variants[0].count, 2);
+        // The fleet-wide histogram is the merge of the variant ones.
+        assert_eq!(summary.hc_measured.count, 3);
+        assert_eq!(summary.hc_measured.quantile(0.0), Some(10_000));
+        assert_eq!(summary.hc_measured.quantile(1.0), Some(30_000));
+        assert_eq!(summary.scout_retries, 7);
+        assert_eq!(summary.faults_injected, 21);
+        // Noisiest first, ids for ties.
+        assert_eq!(summary.noisiest, vec![("S000002".into(), 5), ("S000001".into(), 2)]);
+        let report = summary.render();
+        assert!(report.contains("3 modules"), "{report}");
+        assert!(report.contains("A_TRR1"), "{report}");
+        assert!(report.contains("recovery: 7 scout retries"), "{report}");
+    }
+
+    #[test]
+    fn jsonl_round_trip_skips_the_meta_line() {
+        let records = [record(0, "A_TRR1", 10_000, true, 0)];
+        let text = format!(
+            "{{\"schema\":\"utrr-fleet/1\",\"modules\":1}}\n{}\n",
+            records[0].to_json_line()
+        );
+        let (summary, skipped) = FleetSummary::from_jsonl(&text).expect("parses");
+        assert_eq!(summary.modules, 1);
+        assert_eq!(skipped, 1);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests on the synthetic-module generator: every generated
+//! spec stays inside the published envelopes, keeps a valid TRR
+//! configuration, and gets a collision-free per-module seed that does
+//! not depend on how the population is sharded.
+
+use proptest::prelude::*;
+use utrr_fleet::gen::{
+    module_seed, synth_spec, FLIPS_ENVELOPE, HC_FIRST_ENVELOPE, RETENTION_ENVELOPE, ROWS_STEPS,
+    VULNERABLE_ENVELOPE,
+};
+use utrr_modules::by_id;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every generated spec stays inside the perturbation envelopes
+    /// around its anchor, with positive retention and sane attack
+    /// targets.
+    #[test]
+    fn spec_is_inside_the_envelopes(
+        fleet_seed in 0u64..u64::MAX,
+        index in 0u64..1_000_000,
+        base_rows in 2_048u32..4_096,
+    ) {
+        let synth = synth_spec(fleet_seed, index, base_rows);
+        let spec = &synth.spec;
+        let anchor = by_id(&synth.anchor_id).expect("anchor exists in the catalog");
+
+        let hc = spec.hc_first as f64 / anchor.hc_first as f64;
+        prop_assert!(spec.hc_first >= 1);
+        prop_assert!(hc >= HC_FIRST_ENVELOPE.0 - 1e-6 && hc <= HC_FIRST_ENVELOPE.1 + 1e-6);
+
+        prop_assert!(spec.retention_scale > 0.0);
+        prop_assert!(
+            (RETENTION_ENVELOPE.0..=RETENTION_ENVELOPE.1).contains(&spec.retention_scale)
+        );
+
+        for pct in [spec.paper_vulnerable_pct.0, spec.paper_vulnerable_pct.1] {
+            prop_assert!((0.5..=99.9).contains(&pct));
+        }
+        let vuln = spec.paper_vulnerable_pct.1 / anchor.paper_vulnerable_pct.1;
+        prop_assert!(vuln <= VULNERABLE_ENVELOPE.1 + 1e-6);
+
+        for flips in [spec.paper_max_flips_per_hammer.0, spec.paper_max_flips_per_hammer.1] {
+            prop_assert!(flips > 0.0);
+        }
+        let flips = spec.paper_max_flips_per_hammer.1 / anchor.paper_max_flips_per_hammer.1;
+        prop_assert!(flips >= FLIPS_ENVELOPE.0 - 1e-6 && flips <= FLIPS_ENVELOPE.1 + 1e-6);
+
+        prop_assert!(ROWS_STEPS.iter().any(|&s| synth.rows == base_rows + s));
+    }
+
+    /// The TRR configuration is always the anchor's: the engine is built
+    /// from the version string, so the ground-truth columns must carry
+    /// over untouched for the reverse-engineering verdict to be
+    /// meaningful.
+    #[test]
+    fn trr_parameters_stay_valid(
+        fleet_seed in 0u64..u64::MAX,
+        index in 0u64..1_000_000,
+    ) {
+        let synth = synth_spec(fleet_seed, index, 2_048);
+        let anchor = by_id(&synth.anchor_id).expect("anchor exists");
+        prop_assert_eq!(&synth.spec.trr_version, &anchor.trr_version);
+        prop_assert_eq!(synth.spec.banks, anchor.banks);
+        prop_assert_eq!(synth.spec.trr_to_ref_ratio, anchor.trr_to_ref_ratio);
+        prop_assert_eq!(synth.spec.neighbors_refreshed, anchor.neighbors_refreshed);
+        prop_assert_eq!(synth.spec.detection, anchor.detection);
+        prop_assert_eq!(synth.spec.per_bank_trr, anchor.per_bank_trr);
+        // The planted engine still builds for the perturbed spec.
+        prop_assert!(synth.spec.banks >= 2);
+        prop_assert_eq!(synth.spec.id, format!("S{index:06}"));
+    }
+
+    /// Per-module seeds never collide across a window of indices, and
+    /// depend only on `(fleet_seed, index)` — not on shard layout or
+    /// any other run parameter.
+    #[test]
+    fn module_seeds_are_collision_free_and_layout_independent(
+        fleet_seed in 0u64..u64::MAX,
+        start in 0u64..1_000_000,
+    ) {
+        let mut seeds: Vec<u64> = (start..start + 128)
+            .map(|i| module_seed(fleet_seed, i))
+            .collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        prop_assert_eq!(seeds.len(), 128, "seed collision in a 128-module window");
+    }
+
+    /// The full synthesis is a pure function of `(fleet_seed, index,
+    /// base_rows)` — the property byte-identical resume rests on.
+    #[test]
+    fn synthesis_is_deterministic(
+        fleet_seed in 0u64..u64::MAX,
+        index in 0u64..1_000_000,
+    ) {
+        prop_assert_eq!(
+            synth_spec(fleet_seed, index, 2_048),
+            synth_spec(fleet_seed, index, 2_048)
+        );
+    }
+}

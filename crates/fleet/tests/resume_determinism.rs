@@ -1,0 +1,124 @@
+//! The executor's headline contract: a killed run, resumed at any
+//! thread count, merges to the byte-identical `fleet.jsonl` an
+//! uninterrupted run produces.
+
+use std::path::PathBuf;
+
+use faults::FaultProfile;
+use utrr_fleet::executor::run_fleet;
+use utrr_fleet::record::SweepParams;
+use utrr_fleet::{FleetConfig, RunOptions};
+
+fn config() -> FleetConfig {
+    FleetConfig {
+        modules: 4,
+        shards: 2,
+        params: SweepParams {
+            fleet_seed: 11,
+            base_rows: 2_048,
+            hc_samples: 2,
+            attack_samples: 2,
+            fault_profile: FaultProfile::None,
+            fault_seed: 1,
+        },
+    }
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("utrr-fleet-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn opts(dir: &std::path::Path, threads: usize) -> RunOptions {
+    let mut opts = RunOptions::new(dir.to_path_buf());
+    opts.pool = par::ParConfig::with_threads(threads);
+    opts
+}
+
+#[test]
+fn kill_and_resume_is_byte_identical_across_thread_counts() {
+    let config = config();
+
+    // The reference: one uninterrupted sequential run.
+    let ref_dir = fresh_dir("ref");
+    let reference = run_fleet(&config, &opts(&ref_dir, 1)).expect("reference run");
+    assert!(!reference.stopped_early);
+    assert_eq!(reference.records, config.modules);
+    let ref_bytes =
+        std::fs::read(reference.merged_path.as_ref().expect("merged")).expect("read merged");
+    let ref_hash = reference.merged_hash.clone().expect("hash");
+
+    // The sequential reference above already covers threads=1.
+    for threads in [2usize, 8] {
+        let dir = fresh_dir(&format!("kill-{threads}"));
+
+        // "Kill" after the first shard: no merged output yet.
+        let mut killed = opts(&dir, threads);
+        killed.stop_after_shards = Some(1);
+        let partial = run_fleet(&config, &killed).expect("partial run");
+        assert!(partial.stopped_early, "threads={threads}");
+        assert_eq!(partial.completed_shards, 1);
+        assert!(partial.merged_path.is_none());
+        assert!(!dir.join("fleet.jsonl").exists());
+
+        // Resume at this thread count: skips the checkpointed shard and
+        // merges to exactly the reference bytes.
+        let mut resumed = opts(&dir, threads);
+        resumed.resume = true;
+        let full = run_fleet(&config, &resumed).expect("resumed run");
+        assert_eq!(full.skipped_shards, 1, "threads={threads}");
+        assert_eq!(full.completed_shards, 1, "threads={threads}");
+        assert_eq!(full.merged_hash.as_ref(), Some(&ref_hash), "threads={threads}");
+        let bytes = std::fs::read(dir.join("fleet.jsonl")).expect("read merged");
+        assert_eq!(bytes, ref_bytes, "threads={threads}: merged bytes differ");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let _ = std::fs::remove_dir_all(&ref_dir);
+}
+
+#[test]
+fn rerun_without_resume_is_refused() {
+    let config = config();
+    let dir = fresh_dir("refuse");
+    let mut first = opts(&dir, 1);
+    first.stop_after_shards = Some(1);
+    run_fleet(&config, &first).expect("partial run");
+
+    // Same directory, no --resume: the executor must refuse rather than
+    // silently clobber the checkpoint.
+    let err = run_fleet(&config, &opts(&dir, 1)).expect_err("must refuse");
+    assert!(err.to_string().contains("--resume"), "{err}");
+
+    // A parameter mismatch under --resume must also be refused.
+    let mut other = config.clone();
+    other.params.fleet_seed = 12;
+    let mut resumed = opts(&dir, 1);
+    resumed.resume = true;
+    let err = run_fleet(&other, &resumed).expect_err("mismatch must be refused");
+    assert!(err.to_string().contains("different sweep parameters"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_shard_is_recomputed_on_resume() {
+    let config = config();
+    let dir = fresh_dir("corrupt");
+    let mut first = opts(&dir, 1);
+    first.stop_after_shards = Some(1);
+    run_fleet(&config, &first).expect("partial run");
+
+    // Tamper with the checkpointed shard: its manifest hash no longer
+    // matches, so resume must recompute it instead of trusting it.
+    let shard0 = dir.join("shards/shard-00000.jsonl");
+    std::fs::write(&shard0, b"garbage\n").expect("tamper");
+
+    let mut resumed = opts(&dir, 1);
+    resumed.resume = true;
+    let full = run_fleet(&config, &resumed).expect("resumed run");
+    assert_eq!(full.skipped_shards, 0, "corrupted shard must not be skipped");
+    assert_eq!(full.completed_shards, 2);
+    assert!(full.merged_path.is_some());
+    let _ = std::fs::remove_dir_all(&dir);
+}

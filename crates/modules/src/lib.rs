@@ -92,6 +92,11 @@ pub struct ModuleSpec {
     pub paper_vulnerable_pct: (f64, f64),
     /// The paper's "Max. Bit Flips per Row per Hammer" range (min, max).
     pub paper_max_flips_per_hammer: (f64, f64),
+    /// Multiplier on the weak-cell retention window (`1.0` for every
+    /// Table-1 part). The fleet generator perturbs this around the
+    /// anchors to model die-to-die retention spread without touching the
+    /// calibrated HC arithmetic.
+    pub retention_scale: f64,
 }
 
 impl ModuleSpec {
@@ -193,11 +198,21 @@ impl ModuleSpec {
         let hc_cell_step = (2.0 / target_flips).clamp(5e-4, 0.2);
         let hc_max_cells = ((target_flips * 2.0) as u32).clamp(16, 8_192);
 
+        // Die-to-die retention spread: the generator's multiplier moves
+        // the whole weak-cell retention window; the anchors sit at 1.0
+        // (80 ms – 2 s), so Table-1 builds are bit-identical to before.
+        let scale_nanos = |base: Nanos| -> Nanos {
+            if self.retention_scale == 1.0 {
+                base
+            } else {
+                Nanos::from_ns((base.as_ns() as f64 * self.retention_scale).max(1.0) as u64)
+            }
+        };
         PhysicsConfig {
             weak_row_prob: 1.0,
             extra_weak_cell_prob: 0.35,
-            retention_min: Nanos::from_ms(80),
-            retention_max: Nanos::from_ms(2_000),
+            retention_min: scale_nanos(Nanos::from_ms(80)),
+            retention_max: scale_nanos(Nanos::from_ms(2_000)),
             vrt_prob: 0.15,
             vrt_switch_prob: 0.08,
             vrt_retention_factor: 3.0,
@@ -350,6 +365,7 @@ impl Row {
                 neighbors_refreshed: self.neighbors,
                 paper_vulnerable_pct: (v, v),
                 paper_max_flips_per_hammer: self.max_flips,
+                retention_scale: 1.0,
             });
         }
     }
@@ -880,6 +896,22 @@ mod tests {
             versions,
             ["A_TRR1", "A_TRR2", "B_TRR1", "B_TRR2", "B_TRR3", "C_TRR1", "C_TRR2", "C_TRR3"]
         );
+    }
+
+    #[test]
+    fn retention_scale_moves_the_retention_window() {
+        let anchor = by_id("A5").unwrap();
+        let base = anchor.physics();
+        assert_eq!(base.retention_min, Nanos::from_ms(80));
+        assert_eq!(base.retention_max, Nanos::from_ms(2_000));
+        let mut scaled = anchor.clone();
+        scaled.retention_scale = 1.25;
+        let physics = scaled.physics();
+        assert_eq!(physics.retention_min, Nanos::from_ms(100));
+        assert_eq!(physics.retention_max, Nanos::from_ms(2_500));
+        // The HC calibration is untouched by retention spread.
+        assert_eq!(physics.hc_first, base.hc_first);
+        assert_eq!(physics.hc_lambda, base.hc_lambda);
     }
 
     #[test]
