@@ -11,6 +11,7 @@ use softmc::{HammerMode, HammerSpec, MemoryController};
 
 use crate::analyzer::{Experiment, TrrAnalyzer, VictimOutcome};
 use crate::error::UtrrError;
+use crate::recovery::{self, PhaseBudget, VerdictTier};
 use crate::rowscout::ProfiledRowGroup;
 
 /// How a TRR mechanism detects aggressor rows, as uncovered by the
@@ -64,11 +65,22 @@ pub struct ReverseOptions {
     pub ratio_iterations: u32,
     /// Iterations for capacity / persistence style experiments.
     pub long_iterations: u32,
+    /// Per-phase ACT-budget circuit breaker: each `discover_*` phase
+    /// closes with the partial evidence it has once it consumes this
+    /// many row activations (see [`PhaseBudget`]). `None` — the default
+    /// and the fault-free shape — leaves every phase unbounded and
+    /// changes nothing.
+    pub phase_act_budget: Option<u64>,
 }
 
 impl Default for ReverseOptions {
     fn default() -> Self {
-        ReverseOptions { trigger_hammers: 600, ratio_iterations: 72, long_iterations: 400 }
+        ReverseOptions {
+            trigger_hammers: 600,
+            ratio_iterations: 72,
+            long_iterations: 400,
+            phase_act_budget: None,
+        }
     }
 }
 
@@ -163,7 +175,11 @@ pub fn discover_trr_ref_ratio(
     // The slowest shipped ratio is 17 and pointer-walk observability can
     // be sparse, so give the search enough REFs for several TRR slots
     // regardless of the caller's budget.
+    let mut budget = PhaseBudget::begin(mc, opts.phase_act_budget);
     for _ in 0..opts.ratio_iterations.max(170) {
+        if budget.exhausted(mc, bank) {
+            break;
+        }
         let (flags, ref_start, ids) = detection_iteration(mc, analyzer, bank, groups, &hammers, 1)?;
         if flags.iter().any(|&f| f) {
             hit_refs.push(ref_start + 1);
@@ -223,7 +239,11 @@ pub fn discover_neighbors_refreshed(
         .with_refs(1);
     let mut max_refreshed = 0u32;
     let mut evidence = Vec::new();
+    let mut budget = PhaseBudget::begin(mc, opts.phase_act_budget);
     for _ in 0..opts.ratio_iterations {
+        if budget.exhausted(mc, bank) {
+            break;
+        }
         let outcome = analyzer.run(mc, &exp)?;
         let refreshed = outcome.trr_victims().len() as u32;
         if refreshed > max_refreshed {
@@ -268,13 +288,20 @@ pub fn discover_counter_capacity(
     let block = (2 * trr_ref_ratio.max(1)) as u32;
     let mut capacity = 0;
     let mut evidence = Vec::new();
+    let mut budget = PhaseBudget::begin(mc, opts.phase_act_budget);
     for n in 2..=groups.len() {
+        if budget.tripped() {
+            break;
+        }
         // Stale counters from the previous sweep step would keep TREF_a
         // busy and stall coverage: reset the tracker (Requirement 4).
         crate::analyzer::flush_tracker(mc, bank, &avoid, 32)?;
         let subset = &groups[..n];
         let mut covered = vec![false; n];
         for iter in 0..opts.long_iterations.max(block * (groups.len() as u32 + 4)) {
+            if budget.exhausted(mc, bank) {
+                break;
+            }
             // Boost one aggressor per TRR-REF block: with equal counts a
             // deterministic max-count tie-break would keep detecting the
             // same entry forever, stalling coverage.
@@ -323,7 +350,11 @@ pub fn discover_eviction_of_low_count_row(
     hammers[0] = 50;
     let mut weak_detected = false;
     let mut evidence = Vec::new();
+    let mut budget = PhaseBudget::begin(mc, opts.phase_act_budget);
     for _ in 0..opts.long_iterations {
+        if budget.exhausted(mc, bank) {
+            break;
+        }
         let (flags, _, ids) = detection_iteration(mc, analyzer, bank, groups, &hammers, 1)?;
         push_evidence(&mut evidence, &ids);
         if flags[0] {
@@ -363,7 +394,11 @@ pub fn discover_counter_reset(
     let mut low = 0;
     let mut high = 0;
     let mut evidence = Vec::new();
+    let mut budget = PhaseBudget::begin(mc, opts.phase_act_budget);
     for _ in 0..opts.long_iterations {
+        if budget.exhausted(mc, bank) {
+            break;
+        }
         let (flags, _, ids) = detection_iteration(mc, analyzer, bank, &groups[..], &hammers, 1)?;
         if flags[0] || flags[1] {
             push_evidence(&mut evidence, &ids);
@@ -414,7 +449,11 @@ pub fn discover_table_persistence(
     let idle_exp = Experiment::on_group(bank, group).with_refs(1);
     let mut tail_hits = 0;
     let mut evidence = Vec::new();
+    let mut budget = PhaseBudget::begin(mc, opts.phase_act_budget);
     for i in 0..iterations {
+        if budget.exhausted(mc, bank) {
+            break;
+        }
         let outcome = analyzer.run(mc, &idle_exp)?;
         if outcome.any_trr() && i >= iterations / 2 {
             tail_hits += 1;
@@ -449,7 +488,11 @@ pub fn discover_last_hammered_bias(
     let mut second = 0u32;
     let mut total = 0u32;
     let mut evidence = Vec::new();
+    let mut budget = PhaseBudget::begin(mc, opts.phase_act_budget);
     for _ in 0..opts.ratio_iterations {
+        if budget.exhausted(mc, bank) {
+            break;
+        }
         let (flags, _, ids) = detection_iteration(mc, analyzer, bank, &groups[..], &hammers, refs)?;
         if flags[0] || flags[1] {
             total += 1;
@@ -497,7 +540,11 @@ pub fn discover_cross_bank_sharing(
     let t_long = groups[long].retention;
     let mut hits = [0u32; 2];
     let mut evidence = Vec::new();
+    let mut budget = PhaseBudget::begin(mc, opts.phase_act_budget);
     for _ in 0..opts.ratio_iterations {
+        if budget.exhausted(mc, banks[0]) {
+            break;
+        }
         for &v in &groups[long].victim_rows() {
             crate::robust::write_row_checked(mc, banks[long], v, &groups[long].pattern)?;
         }
@@ -587,7 +634,11 @@ pub fn discover_act_window(
     let iterations = opts.long_iterations.max(360);
     let faulty = mc.faults_enabled();
     let mut evidence = Vec::new();
+    let mut budget = PhaseBudget::begin(mc, opts.phase_act_budget);
     for &filler in probes {
+        if budget.tripped() {
+            break;
+        }
         let mut exp = Experiment::on_group(bank, group)
             .with_hammer(HammerSpec::single_sided(group.aggressors[0], aggressor_hammers))
             .with_dummies(dummies.clone(), filler)
@@ -605,6 +656,9 @@ pub fn discover_act_window(
             let threshold = (iterations / 50).max(1);
             let mut hits = 0u32;
             for _ in 0..iterations {
+                if budget.exhausted(mc, bank) {
+                    break;
+                }
                 let outcome = analyzer.run(mc, &exp)?;
                 if outcome.any_trr() {
                     hits += 1;
@@ -617,6 +671,9 @@ pub fn discover_act_window(
             }
         } else {
             for _ in 0..iterations {
+                if budget.exhausted(mc, bank) {
+                    break;
+                }
                 let outcome = analyzer.run(mc, &exp)?;
                 if outcome.any_trr() {
                     push_evidence(&mut evidence, &outcome.evidence);
@@ -624,6 +681,12 @@ pub fn discover_act_window(
                     break;
                 }
             }
+        }
+        if budget.tripped() {
+            // A truncated probe can't distinguish "never detected" from
+            // "ran out of budget before a detection": don't conclude a
+            // window from it.
+            break;
         }
         if !detected {
             emit_verdict(mc, bank, "act_window", &[("window", filler)], &evidence);
@@ -652,15 +715,81 @@ pub fn classify(
     cross_bank: Option<(Bank, &ProfiledRowGroup)>,
     opts: &ReverseOptions,
 ) -> Result<TrrProfile, UtrrError> {
+    classify_recover(mc, bank, pair_groups, probe_group, cross_bank, opts, VerdictTier::Confirmed)
+        .map(|(profile, _)| profile)
+}
+
+/// [`classify`] under the recovery ladder, returning the profile
+/// together with its [`VerdictTier`]. `initial_tier` carries what the
+/// earlier pipeline phases (the scout scans) already know — the
+/// returned tier and the final verdict trace event both reflect the
+/// merged pipeline confidence, not just classification's own.
+///
+/// Below [`recovery::LADDER_SEVERITY`] this *is* `classify` (same
+/// commands, same errors) with a `Confirmed` tier bolted on. With the
+/// ladder active:
+///
+/// * a group whose regular-refresh schedule cannot be learned is
+///   dropped from the experiment set instead of aborting the whole
+///   classification (tier reason `schedule`) — as long as at least two
+///   pair groups survive;
+/// * any `discover_*` phase whose [`ReverseOptions::phase_act_budget`]
+///   breaker trips closes with partial evidence (tier reason
+///   `act-budget`).
+///
+/// # Errors
+///
+/// [`UtrrError::ScheduleNotFound`] when fewer than two pair groups
+/// survive schedule learning; experiment errors are propagated.
+pub fn classify_recover(
+    mc: &mut MemoryController,
+    bank: Bank,
+    pair_groups: &[ProfiledRowGroup],
+    probe_group: &ProfiledRowGroup,
+    cross_bank: Option<(Bank, &ProfiledRowGroup)>,
+    opts: &ReverseOptions,
+    initial_tier: VerdictTier,
+) -> Result<(TrrProfile, VerdictTier), UtrrError> {
+    let ladder = recovery::ladder_active(mc);
+    let mut tier = initial_tier;
+    let trips_before = mc.recovery().budget_trips;
     // Learn the regular-refresh schedule of every profiled row first, so
     // that periodic regular refreshes are never misattributed to TRR.
     let mut analyzer = TrrAnalyzer::new();
-    for group in pair_groups.iter().chain(std::iter::once(probe_group)) {
-        crate::schedule::learn_group_schedules(mc, bank, group, &mut analyzer)?;
+    let mut surviving: Vec<ProfiledRowGroup> = Vec::with_capacity(pair_groups.len());
+    for group in pair_groups {
+        match crate::schedule::learn_group_schedules(mc, bank, group, &mut analyzer) {
+            Ok(()) => surviving.push(group.clone()),
+            Err(UtrrError::ScheduleNotFound) if ladder => tier.degrade("schedule"),
+            Err(e) => return Err(e),
+        }
     }
-    if let Some((other_bank, other_group)) = cross_bank {
-        crate::schedule::learn_group_schedules(mc, other_bank, other_group, &mut analyzer)?;
+    if surviving.len() < 2 {
+        return Err(UtrrError::ScheduleNotFound);
     }
+    let pair_groups: &[ProfiledRowGroup] = &surviving;
+    match crate::schedule::learn_group_schedules(mc, bank, probe_group, &mut analyzer) {
+        Ok(()) => {}
+        // A probe group without learned schedules still runs its
+        // experiments; regular refreshes just can't be subtracted for
+        // it, which the degraded tier records.
+        Err(UtrrError::ScheduleNotFound) if ladder => tier.degrade("schedule"),
+        Err(e) => return Err(e),
+    }
+    let cross_bank = match cross_bank {
+        Some((other_bank, other_group)) => {
+            match crate::schedule::learn_group_schedules(mc, other_bank, other_group, &mut analyzer)
+            {
+                Ok(()) => Some((other_bank, other_group)),
+                Err(UtrrError::ScheduleNotFound) if ladder => {
+                    tier.degrade("schedule");
+                    None
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        None => None,
+    };
     let analyzer = analyzer;
 
     // Watermark the trace-id space so the final verdict can cite the
@@ -751,6 +880,10 @@ pub fn classify(
         _ => true,
     };
 
+    if mc.recovery().budget_trips > trips_before {
+        tier.degrade("act-budget");
+    }
+
     // The final verdict cites the per-discovery verdicts as evidence:
     // the explain tool walks detection → sub-verdicts → read_checks.
     if let Some(recorder) = mc.registry().recorder() {
@@ -767,18 +900,27 @@ pub fn classify(
             DetectionKind::Sampler { .. } => "detection:sampler",
             DetectionKind::Window { .. } => "detection:window",
         };
-        emit_verdict(
-            mc,
-            bank,
-            kind,
-            &[
-                ("ratio", ratio),
-                ("neighbors", u64::from(neighbors)),
-                ("per_bank", u64::from(per_bank)),
-            ],
-            &sub_verdicts,
-        );
+        // The tier rides on the verdict event only when the ladder is
+        // active, so mild/fault-free trace streams stay byte-identical.
+        // A non-confirmed tier also spells out its reasons in the
+        // detail, which is what `utrr-trace explain` renders.
+        let mut fields = vec![
+            ("ratio", ratio),
+            ("neighbors", u64::from(neighbors)),
+            ("per_bank", u64::from(per_bank)),
+        ];
+        let mut detail = kind.to_string();
+        if ladder {
+            fields.push(("tier", tier.code()));
+            if !tier.is_confirmed() {
+                detail = format!("{kind} [{}: {}]", tier.label(), tier.reasons_string());
+            }
+        }
+        emit_verdict(mc, bank, &detail, &fields, &sub_verdicts);
     }
 
-    Ok(TrrProfile { trr_ref_ratio: ratio, neighbors_refreshed: neighbors, detection, per_bank })
+    Ok((
+        TrrProfile { trr_ref_ratio: ratio, neighbors_refreshed: neighbors, detection, per_bank },
+        tier,
+    ))
 }

@@ -30,12 +30,18 @@ pub const CTR_WRITE_GIVEUPS: &str = "utrr.robust.write_giveups";
 /// Verified-write retry budget (first attempt included).
 const WRITE_ATTEMPTS: u32 = 4;
 
-/// Reads `row` with triple-modular redundancy when fault injection is
-/// active: three reads, and a bit counts as flipped only when at least
-/// two samples report it. Reading a row activates (and therefore
-/// restores) it, so the three samples observe the same cell state and
-/// differ only through in-flight faults — the majority recovers the
-/// true readout unless two independent faults collide on the same bit.
+/// Reads `row` with majority-vote redundancy when fault injection is
+/// active: a bit counts as flipped only when a strict majority of the
+/// samples report it. Reading a row activates (and therefore restores)
+/// it, so the samples observe the same cell state and differ only
+/// through in-flight faults — the majority recovers the true readout
+/// unless independent faults collide on the same bit across half the
+/// samples.
+///
+/// The vote width is 3 by default; on a hostile substrate
+/// (severity ≥ 2) the recovery ladder widens it adaptively to 5 and 7
+/// when the running disagreement rate shows triple redundancy is no
+/// longer enough (see [`crate::recovery::note_vote`]).
 ///
 /// With no fault injector installed this is exactly one
 /// [`MemoryController::read_row`].
@@ -50,6 +56,9 @@ pub fn read_row_voted(
 ) -> Result<RowReadout, UtrrError> {
     if !mc.faults_enabled() {
         return Ok(mc.read_row(bank, row)?);
+    }
+    if crate::recovery::ladder_active(mc) {
+        return read_row_voted_wide(mc, bank, row);
     }
     let a = mc.read_row(bank, row)?;
     let b = mc.read_row(bank, row)?;
@@ -70,6 +79,52 @@ pub fn read_row_voted(
     );
     let majority = majority3_flips(a.flipped_bits(), b.flipped_bits(), c.flipped_bits());
     Ok(a.with_flips(majority))
+}
+
+/// The adaptive-width vote of the hostile recovery ladder: N samples
+/// (N = current ladder width), a bit is flipped iff a strict majority
+/// of the samples report it, and every vote feeds the disagreement-rate
+/// window that drives 3→5→7 widening.
+fn read_row_voted_wide(
+    mc: &mut MemoryController,
+    bank: Bank,
+    row: RowAddr,
+) -> Result<RowReadout, UtrrError> {
+    let width = crate::recovery::vote_width(mc);
+    let mut samples = Vec::with_capacity(usize::from(width));
+    for _ in 0..width {
+        samples.push(mc.read_row(bank, row)?);
+    }
+    let registry = std::sync::Arc::clone(mc.registry());
+    registry.counter(CTR_VOTED_READS).inc();
+    let unanimous = samples.windows(2).all(|pair| pair[0].flipped_bits() == pair[1].flipped_bits());
+    crate::recovery::note_vote(mc, bank, row, !unanimous);
+    if unanimous {
+        return Ok(samples.swap_remove(0));
+    }
+    registry.counter(CTR_READ_DISAGREEMENTS).inc();
+    registry.trace(
+        obs::TraceKind::Recovery,
+        mc.now().as_ns(),
+        u32::from(bank.index()),
+        Some(mc.module().phys_of(row).index()),
+        &[("width", u64::from(width))],
+        "read_disagreement",
+    );
+    // Strict-majority merge: count each reported bit across the sorted
+    // per-sample flip lists (BTreeMap keeps the merged list ordered).
+    let mut counts = std::collections::BTreeMap::new();
+    for sample in &samples {
+        for &bit in sample.flipped_bits() {
+            *counts.entry(bit).or_insert(0u32) += 1;
+        }
+    }
+    let majority: Vec<u32> = counts
+        .into_iter()
+        .filter(|&(_, n)| u64::from(n) * 2 > u64::from(width))
+        .map(|(bit, _)| bit)
+        .collect();
+    Ok(samples.swap_remove(0).with_flips(majority))
 }
 
 /// Writes `pattern` into `row` and, when fault injection is active,

@@ -37,12 +37,48 @@ use softmc::MemoryController;
 use crate::arena;
 use crate::error::UtrrError;
 use crate::layout::RowGroupLayout;
+use crate::recovery::{self, DriftEstimator, VerdictTier};
 use crate::robust;
 
 /// Counter: validation checks retried by the scout (fault-aware mode).
 pub const CTR_SCOUT_RETRIES: &str = "utrr.rowscout.retries";
 /// Counter: rows quarantined by the scout.
 pub const CTR_SCOUT_QUARANTINED: &str = "utrr.rowscout.quarantined";
+
+/// Relocation attempts [`RowScout::scan_recover`] makes when the
+/// configured window cannot satisfy the request under a hostile fault
+/// profile.
+pub const RELOCATION_ATTEMPTS: u32 = 3;
+
+/// SplitMix64 mixing step — the deterministic seeded search behind
+/// window relocation (self-contained so the core crate stays free of a
+/// faults-crate dependency).
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Deterministic relocation seed derived purely from the profiling
+/// configuration, so relocated windows are identical at any thread
+/// count and across resumed runs.
+fn relocation_seed(cfg: &ScoutConfig) -> u64 {
+    let geometry = (u64::from(cfg.row_start) << 32)
+        | u64::from(cfg.row_end) ^ (u64::from(cfg.bank.index()) << 56);
+    mix64(geometry ^ (cfg.group_count as u64).rotate_left(17))
+}
+
+/// Whether `candidate` shares any physical row with an already-accepted
+/// group (including the one-row guard band the scan keeps between
+/// groups).
+fn overlaps_any(groups: &[ProfiledRowGroup], candidate: &ProfiledRowGroup, span: u32) -> bool {
+    let base = candidate.base.index();
+    groups.iter().any(|g| {
+        let other = g.base.index();
+        base <= other + span + 1 && other <= base + span + 1
+    })
+}
 
 /// Profiling configuration (the "Profiling Config" box of Fig. 3).
 #[derive(Debug, Clone, PartialEq)]
@@ -213,16 +249,20 @@ struct ScanState {
     budget_exhausted: bool,
     retries: u64,
     quarantined: BTreeMap<u32, RowDiagnostics>,
+    /// Drift-adaptive validation margins (level 0 reproduces the static
+    /// 1.05×/0.5× faulty margins exactly, so mild scans are unchanged).
+    drift: DriftEstimator,
 }
 
 impl ScanState {
-    fn new(acts_start: u64, max_acts: Option<u64>) -> Self {
+    fn new(acts_start: u64, max_acts: Option<u64>, drift: DriftEstimator) -> Self {
         ScanState {
             acts_start,
             max_acts,
             budget_exhausted: false,
             retries: 0,
             quarantined: BTreeMap::new(),
+            drift,
         }
     }
 
@@ -309,6 +349,90 @@ impl RowScout {
         }
     }
 
+    /// Runs the Fig. 6 loop under the escalating recovery ladder and
+    /// returns whatever profile evidence could be assembled, tiered:
+    ///
+    /// * a complete scan is `Confirmed` (relocations and re-profiles
+    ///   along the way don't degrade the tier — the evidence is whole);
+    /// * an incomplete scan relocates the window to fresh subarray
+    ///   regions via a deterministic seeded search (up to
+    ///   [`RELOCATION_ATTEMPTS`] shifts, each recorded on the ladder)
+    ///   and, if still short, returns the partial groups as
+    ///   `Degraded { scout-shortfall }` (plus `act-budget` when the ACT
+    ///   budget stopped a pass);
+    /// * only a scan with *zero* groups is an error.
+    ///
+    /// The [`DriftEstimator`] persists across relocation attempts, so
+    /// margin escalations learned in one window carry into the next.
+    /// Below [`recovery::LADDER_SEVERITY`] this behaves exactly like
+    /// [`RowScout::scan`] — the ladder stays locked and mild/fault-free
+    /// command streams are untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`UtrrError::NotEnoughRowGroups`] only when no group at all
+    /// validated; device errors are propagated.
+    pub fn scan_recover(
+        &self,
+        mc: &mut MemoryController,
+    ) -> Result<(Vec<ProfiledRowGroup>, VerdictTier), UtrrError> {
+        let cfg = &self.config;
+        let mut drift = DriftEstimator::default();
+        let report = self.scan_report_with(mc, &mut drift)?;
+        let mut budget_hit = report.budget_exhausted;
+        let mut groups = report.groups;
+        if groups.len() >= cfg.group_count {
+            groups.truncate(cfg.group_count);
+            return Ok((groups, VerdictTier::Confirmed));
+        }
+        if !recovery::ladder_active(mc) {
+            return Err(UtrrError::NotEnoughRowGroups {
+                found: groups.len(),
+                needed: cfg.group_count,
+                max_retention: cfg.max_retention,
+            });
+        }
+        let span = cfg.layout.span();
+        let range = cfg.row_end.saturating_sub(cfg.row_start);
+        let mut seed = relocation_seed(cfg);
+        for _ in 0..RELOCATION_ATTEMPTS {
+            if groups.len() >= cfg.group_count {
+                break;
+            }
+            seed = mix64(seed);
+            let slack = range.saturating_sub(span + 1).max(1);
+            let mut sub_cfg = cfg.clone();
+            sub_cfg.row_start = cfg.row_start + (seed % u64::from(slack)) as u32;
+            sub_cfg.group_count = cfg.group_count - groups.len();
+            mc.recovery_mut().relocations += 1;
+            recovery::ladder_event(mc, recovery::CTR_RELOCATIONS, "relocate", cfg.bank, None);
+            let sub = RowScout::new(sub_cfg).scan_report_with(mc, &mut drift)?;
+            budget_hit |= sub.budget_exhausted;
+            for group in sub.groups {
+                if !overlaps_any(&groups, &group, span) {
+                    groups.push(group);
+                }
+            }
+        }
+        groups.truncate(cfg.group_count);
+        if groups.len() >= cfg.group_count {
+            return Ok((groups, VerdictTier::Confirmed));
+        }
+        if groups.is_empty() {
+            return Err(UtrrError::NotEnoughRowGroups {
+                found: 0,
+                needed: cfg.group_count,
+                max_retention: cfg.max_retention,
+            });
+        }
+        let mut tier = VerdictTier::Confirmed;
+        tier.degrade("scout-shortfall");
+        if budget_hit {
+            tier.degrade("act-budget");
+        }
+        Ok((groups, tier))
+    }
+
     /// Runs the Fig. 6 loop and returns a [`ScoutReport`]: the groups
     /// that validated plus quarantine diagnostics, retry counts, and
     /// budget state — a partial result where [`RowScout::scan`] would
@@ -319,6 +443,17 @@ impl RowScout {
     /// Device errors are propagated; an incomplete scan is *not* an
     /// error here.
     pub fn scan_report(&self, mc: &mut MemoryController) -> Result<ScoutReport, UtrrError> {
+        self.scan_report_with(mc, &mut DriftEstimator::default())
+    }
+
+    /// [`RowScout::scan_report`] with caller-owned drift-margin state,
+    /// so [`RowScout::scan_recover`] keeps escalated margins across
+    /// relocated windows.
+    fn scan_report_with(
+        &self,
+        mc: &mut MemoryController,
+        drift: &mut DriftEstimator,
+    ) -> Result<ScoutReport, UtrrError> {
         let registry = std::sync::Arc::clone(mc.registry());
         let span = obs::span!(
             registry,
@@ -327,7 +462,7 @@ impl RowScout {
             rows = (self.config.row_end - self.config.row_start) as u64,
             groups_wanted = self.config.group_count as u64
         );
-        let result = self.scan_report_inner(mc);
+        let result = self.scan_report_inner(mc, drift);
         if let Ok(report) = &result {
             registry.counter("utrr.rowscout.groups_found").add(report.groups.len() as u64);
             registry.counter(CTR_SCOUT_QUARANTINED).add(report.quarantined.len() as u64);
@@ -337,10 +472,14 @@ impl RowScout {
         result
     }
 
-    fn scan_report_inner(&self, mc: &mut MemoryController) -> Result<ScoutReport, UtrrError> {
+    fn scan_report_inner(
+        &self,
+        mc: &mut MemoryController,
+        drift: &mut DriftEstimator,
+    ) -> Result<ScoutReport, UtrrError> {
         let cfg = &self.config;
         let acts_start = mc.module().stats().activations;
-        let mut state = ScanState::new(acts_start, cfg.max_acts);
+        let mut state = ScanState::new(acts_start, cfg.max_acts, *drift);
         let mut best: Vec<ProfiledRowGroup> = Vec::new();
         let mut retention = cfg.initial_retention;
         while retention <= cfg.max_retention && !state.budget_spent(mc) {
@@ -362,6 +501,7 @@ impl RowScout {
             }
             retention += cfg.retention_step;
         }
+        *drift = state.drift;
         Ok(ScoutReport {
             groups: best,
             requested: cfg.group_count,
@@ -520,16 +660,26 @@ impl RowScout {
     ) -> Result<Option<RowDiagnostics>, UtrrError> {
         let cfg = &self.config;
         let faulty = mc.faults_enabled();
-        let max_retries: u32 = if faulty { 2 } else { 0 };
+        let ladder = recovery::ladder_active(mc);
+        let max_retries: u32 = if ladder {
+            3
+        } else if faulty {
+            2
+        } else {
+            0
+        };
         let track_flips = faulty || cfg.vrt_probe;
         let mut retries_spent = 0u32;
         for _ in 0..cfg.consistency_checks {
             // The rows must fail after the full interval T…
             let mut attempt = 0u32;
             loop {
-                match self.check_fails_at_t(mc, group, track_flips, signatures)? {
+                match self.check_fails_at_t(mc, group, track_flips, signatures, state.drift)? {
                     None => break,
                     Some((profiled, reason)) => {
+                        if ladder && reason == QuarantineReason::VrtFlap {
+                            state.drift.note_margin_failure(mc, cfg.bank, profiled.row);
+                        }
                         if attempt < max_retries && reason != QuarantineReason::WriteUnstable {
                             attempt += 1;
                             retries_spent += 1;
@@ -549,9 +699,12 @@ impl RowScout {
             // …and must still hold at the 0.55 T early margin.
             let mut attempt = 0u32;
             loop {
-                match self.check_holds_at_margin(mc, group)? {
+                match self.check_holds_at_margin(mc, group, state.drift)? {
                     None => break,
                     Some((profiled, reason)) => {
+                        if ladder && reason == QuarantineReason::RetentionDrift {
+                            state.drift.note_margin_failure(mc, cfg.bank, profiled.row);
+                        }
                         if attempt < max_retries && reason != QuarantineReason::WriteUnstable {
                             attempt += 1;
                             retries_spent += 1;
@@ -605,18 +758,21 @@ impl RowScout {
     /// repeat across checks: a VRT cell toggling inside the bucket
     /// changes the signature even while the row keeps failing.
     ///
-    /// On a faulty substrate the decay window is stretched by 5% —
-    /// headroom past the injected retention-drift amplitude, so a row
-    /// profiled right at `T` still fails when the environment runs a
-    /// couple of percent "cold". VRT swings are ~3×, far outside the
-    /// margin, so the flap detection keeps its teeth. Fault-free the
-    /// wait is exactly `T`, keeping the command stream unchanged.
+    /// On a faulty substrate the decay window is stretched — by 5% at
+    /// drift level 0 (headroom past the injected retention-drift
+    /// amplitude, so a row profiled right at `T` still fails when the
+    /// environment runs a couple of percent "cold"), and further as the
+    /// [`DriftEstimator`] escalates under hostile drift. VRT swings are
+    /// ~3×, far outside any margin level, so the flap detection keeps
+    /// its teeth. Fault-free the wait is exactly `T`, keeping the
+    /// command stream unchanged.
     fn check_fails_at_t(
         &self,
         mc: &mut MemoryController,
         group: &ProfiledRowGroup,
         track_flips: bool,
         signatures: &mut [Option<Vec<u32>>],
+        drift: DriftEstimator,
     ) -> Result<Option<(ProfiledRow, QuarantineReason)>, UtrrError> {
         let cfg = &self.config;
         for profiled in &group.rows {
@@ -624,7 +780,12 @@ impl RowScout {
                 return Ok(Some((*profiled, QuarantineReason::WriteUnstable)));
             }
         }
-        let wait = if mc.faults_enabled() { group.retention * 21 / 20 } else { group.retention };
+        let wait = if mc.faults_enabled() {
+            let (num, den) = drift.wait_margin();
+            group.retention * num / den
+        } else {
+            group.retention
+        };
         mc.wait_no_refresh(wait);
         for (i, profiled) in group.rows.iter().enumerate() {
             let readout = robust::read_row_voted(mc, cfg.bank, profiled.row)?;
@@ -652,15 +813,18 @@ impl RowScout {
     }
 
     /// One "must hold at 0.55 T" validation check. On a faulty
-    /// substrate the margin tightens to `0.5 T` — the mirror image of
-    /// [`Self::check_fails_at_t`]'s stretched window, so a bucket row
-    /// whose retention sits just above `0.55 T` isn't condemned as
-    /// drifting when the injected environment runs a couple of percent
-    /// "hot". Fault-free the wait is exactly `0.55 T` as before.
+    /// substrate the margin tightens to `0.5 T` at drift level 0 — the
+    /// mirror image of [`Self::check_fails_at_t`]'s stretched window,
+    /// so a bucket row whose retention sits just above `0.55 T` isn't
+    /// condemned as drifting when the injected environment runs a
+    /// couple of percent "hot" — and relaxes further as the
+    /// [`DriftEstimator`] escalates. Fault-free the wait is exactly
+    /// `0.55 T` as before.
     fn check_holds_at_margin(
         &self,
         mc: &mut MemoryController,
         group: &ProfiledRowGroup,
+        drift: DriftEstimator,
     ) -> Result<Option<(ProfiledRow, QuarantineReason)>, UtrrError> {
         let cfg = &self.config;
         for profiled in &group.rows {
@@ -668,8 +832,12 @@ impl RowScout {
                 return Ok(Some((*profiled, QuarantineReason::WriteUnstable)));
             }
         }
-        let margin =
-            if mc.faults_enabled() { group.retention / 2 } else { group.retention * 55 / 100 };
+        let margin = if mc.faults_enabled() {
+            let (num, den) = drift.hold_margin();
+            group.retention * num / den
+        } else {
+            group.retention * 55 / 100
+        };
         mc.wait_no_refresh(margin);
         for profiled in &group.rows {
             if !robust::read_row_voted(mc, cfg.bank, profiled.row)?.is_clean() {
@@ -885,6 +1053,87 @@ mod tests {
         // scan() over the same exhausted budget surfaces the classic error.
         let mut mc = controller(11);
         let err = RowScout::new(cfg).scan(&mut mc).unwrap_err();
+        assert!(matches!(err, UtrrError::NotEnoughRowGroups { .. }));
+    }
+
+    /// Command-transparent injector whose only effect is unlocking the
+    /// recovery ladder via its severity.
+    #[derive(Debug)]
+    struct HostileMarker;
+
+    impl softmc::FaultInjector for HostileMarker {
+        fn on_read(
+            &mut self,
+            _bank: Bank,
+            _row: RowAddr,
+            _readout: &mut dram_sim::RowReadout,
+            _now: Nanos,
+        ) {
+        }
+
+        fn on_write(
+            &mut self,
+            _bank: Bank,
+            _row: RowAddr,
+            _pattern: &DataPattern,
+            _now: Nanos,
+        ) -> softmc::WriteFault {
+            softmc::WriteFault::None
+        }
+
+        fn on_tick(&mut self, _now: Nanos, _module: &mut dram_sim::Module) {}
+
+        fn severity(&self) -> u8 {
+            2
+        }
+    }
+
+    #[test]
+    fn scan_recover_is_confirmed_when_the_scan_completes() {
+        let mut mc = controller(11);
+        let groups = scout("RAR", 3).scan(&mut mc).unwrap();
+        let mut mc = controller(11);
+        let (recovered, tier) = scout("RAR", 3).scan_recover(&mut mc).unwrap();
+        assert_eq!(recovered, groups);
+        assert_eq!(tier, VerdictTier::Confirmed);
+        assert_eq!(mc.recovery().relocations, 0);
+    }
+
+    #[test]
+    fn scan_recover_degrades_with_partial_groups_under_hostile_severity() {
+        // A request the window cannot satisfy: scan() errors, but under
+        // ladder severity scan_recover relocates and then closes with
+        // whatever it found, tiered Degraded.
+        let layout: RowGroupLayout = "RAR".parse().unwrap();
+        let mut cfg = ScoutConfig::new(Bank::new(0), 128, layout, 40);
+        cfg.max_retention = Nanos::from_ms(400);
+
+        let mut mc = controller(11);
+        mc.set_fault_injector(Some(Box::new(HostileMarker)));
+        assert_eq!(mc.fault_severity(), 2);
+        let (groups, tier) = RowScout::new(cfg.clone()).scan_recover(&mut mc).unwrap();
+        assert!(!groups.is_empty());
+        assert!(groups.len() < 40);
+        match &tier {
+            VerdictTier::Degraded { reasons } => {
+                assert!(reasons.iter().any(|r| r == "scout-shortfall"), "{reasons:?}");
+            }
+            other => panic!("expected a degraded tier, got {other:?}"),
+        }
+        assert_eq!(mc.recovery().relocations, u64::from(RELOCATION_ATTEMPTS));
+        assert!(mc.registry().counter(recovery::CTR_RELOCATIONS).get() > 0);
+        // Relocated windows never produce overlapping groups.
+        let span = cfg.layout.span();
+        for (i, a) in groups.iter().enumerate() {
+            for b in &groups[i + 1..] {
+                let (lo, hi) = if a.base.index() <= b.base.index() { (a, b) } else { (b, a) };
+                assert!(hi.base.index() > lo.base.index() + span + 1, "{lo:?} overlaps {hi:?}");
+            }
+        }
+
+        // Without ladder severity the same request stays a hard error.
+        let mut mc = controller(11);
+        let err = RowScout::new(cfg).scan_recover(&mut mc).unwrap_err();
         assert!(matches!(err, UtrrError::NotEnoughRowGroups { .. }));
     }
 

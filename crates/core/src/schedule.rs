@@ -114,7 +114,19 @@ pub fn learn_row_schedule(
     retention: dram_sim::Nanos,
     pattern: &dram_sim::DataPattern,
 ) -> Result<RefreshSchedule, UtrrError> {
-    let attempts = if mc.faults_enabled() { 3 } else { 1 };
+    // The recovery ladder escalates the retry budget: hostile fault
+    // rates make three attempts per row a near-certain loss over the
+    // ~40 schedule learns of a classification, while each extra
+    // attempt is cheap and independently verified. Mild keeps the
+    // original budget, fault-free runs measure exactly once.
+    let ladder = crate::recovery::ladder_active(mc);
+    let attempts = if ladder {
+        10
+    } else if mc.faults_enabled() {
+        3
+    } else {
+        1
+    };
     let registry = std::sync::Arc::clone(mc.registry());
     let mut last = UtrrError::ScheduleNotFound;
     for attempt in 0..attempts {
@@ -129,10 +141,35 @@ pub fn learn_row_schedule(
                 "schedule_retry",
             );
         }
-        match learn_row_schedule_once(mc, bank, probe, retention, pattern) {
+        // Trial timing. The scout's retention bins only bracket the
+        // row's true retention R in (0.55 T, T], and hostile drift
+        // swings R by another ±8% — no timing derived from the bin
+        // alone can separate restored from unrestored decay across
+        // that whole band. The ladder therefore re-profiles the row's
+        // *current* retention (a DriftEstimator escalation stage) on
+        // every attempt, so the window tracks the live drift phase:
+        // restored rows decay 0.58 R̂ (< 0.92 R̂ even when the estimate
+        // was taken at peak drift), unrestored rows decay 1.2 R̂
+        // (> 1.08 R̂ even at trough). Below the ladder the symmetric
+        // ±4% window is bit-identical to before.
+        let timing = if ladder {
+            let estimate = reprofile_retention(mc, bank, probe, pattern, retention)?;
+            mc.recovery_mut().reprofiles += 1;
+            crate::recovery::ladder_event(
+                mc,
+                crate::recovery::CTR_REPROFILES,
+                "schedule_reprofile",
+                bank,
+                Some(probe),
+            );
+            (estimate * 62 / 100, estimate * 58 / 100)
+        } else {
+            (retention / 2, retention / 2 + retention / 25)
+        };
+        match learn_row_schedule_once(mc, bank, probe, pattern, timing) {
             Ok(schedule) => {
                 if !mc.faults_enabled()
-                    || verify_schedule(mc, bank, probe, retention, pattern, &schedule)?
+                    || verify_schedule(mc, bank, probe, pattern, timing, &schedule)?
                 {
                     return Ok(schedule);
                 }
@@ -145,6 +182,34 @@ pub fn learn_row_schedule(
     Err(last)
 }
 
+/// Bisects the probe row's retention as it stands right now (recovery
+/// ladder only): five voted write-decay-read trials between 0.4 and
+/// 1.3 of the scout's binned estimate. A row the faults have rendered
+/// permanently dirty collapses the bracket to its floor, which the
+/// subsequent coarse pass then fails — the group is dropped rather
+/// than learned from garbage.
+fn reprofile_retention(
+    mc: &mut MemoryController,
+    bank: dram_sim::Bank,
+    probe: dram_sim::RowAddr,
+    pattern: &dram_sim::DataPattern,
+    hint: dram_sim::Nanos,
+) -> Result<dram_sim::Nanos, UtrrError> {
+    let mut lo = hint * 2 / 5;
+    let mut hi = hint * 13 / 10;
+    for _ in 0..5 {
+        let mid = (lo + hi) / 2;
+        robust::write_row_checked(mc, bank, probe, pattern)?;
+        mc.wait_no_refresh(mid);
+        if robust::read_row_voted(mc, bank, probe)?.is_clean() {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok((lo + hi) / 2)
+}
+
 /// Predictive verification of a learned schedule (fault-aware mode
 /// only): four fresh burst trials must match the schedule's
 /// covers/doesn't-cover prediction in at least three cases.
@@ -152,21 +217,19 @@ fn verify_schedule(
     mc: &mut MemoryController,
     bank: dram_sim::Bank,
     probe: dram_sim::RowAddr,
-    retention: dram_sim::Nanos,
     pattern: &dram_sim::DataPattern,
+    (pre_burst, post_burst): (dram_sim::Nanos, dram_sim::Nanos),
     schedule: &RefreshSchedule,
 ) -> Result<bool, UtrrError> {
     const TRIALS: u32 = 4;
-    let half = retention / 2;
-    let margin = retention / 25;
     let mut correct = 0u32;
     for i in 0..TRIALS {
         let burst = if i % 2 == 0 { 32 } else { 64 };
         let before = mc.module().ref_count();
         robust::write_row_checked(mc, bank, probe, pattern)?;
-        mc.wait_no_refresh(half);
+        mc.wait_no_refresh(pre_burst);
         mc.refresh(burst);
-        mc.wait_no_refresh(half + margin);
+        mc.wait_no_refresh(post_burst);
         let clean = robust::read_row_voted(mc, bank, probe)?.is_clean();
         if clean == schedule.covers(before, before + burst) {
             correct += 1;
@@ -180,8 +243,8 @@ fn learn_row_schedule_once(
     mc: &mut MemoryController,
     bank: dram_sim::Bank,
     probe: dram_sim::RowAddr,
-    retention: dram_sim::Nanos,
     pattern: &dram_sim::DataPattern,
+    (pre_burst, post_burst): (dram_sim::Nanos, dram_sim::Nanos),
 ) -> Result<RefreshSchedule, UtrrError> {
     const COARSE_BURST: u64 = 64;
     let pattern = pattern.clone();
@@ -197,21 +260,20 @@ fn learn_row_schedule_once(
     // table, and enough total activations (3072) that a probabilistic
     // sampler's register holds a dummy with overwhelming probability.
     crate::analyzer::flush_tracker(mc, bank, &[probe], 100)?;
-    // The burst sits in the middle of the decay window: a restored row
-    // then decays for only ~0.54 T (inside its ≥ 0.55 T retention), while
-    // an unrestored row decays for ~1.04 T (past its ≤ T retention).
-    let half = retention / 2;
-    let margin = retention / 25;
-
+    // The burst sits in the middle of the decay window (see
+    // `learn_row_schedule` for the timing: symmetric around 0.5 T
+    // below the ladder, re-profiled and drift-proof under it): a
+    // restored row decays only `post_burst` (inside its retention), an
+    // unrestored row decays `pre_burst + post_burst` (past it).
     // One coarse trial: does a burst of `burst` REFs restore the row?
     // Voted reads and verified writes are no-ops fault-free; under
     // fault injection they keep single in-flight faults from forging a
     // restore observation.
     let trial = |mc: &mut MemoryController, burst: u64| -> Result<bool, UtrrError> {
         robust::write_row_checked(mc, bank, probe, &pattern)?;
-        mc.wait_no_refresh(half);
+        mc.wait_no_refresh(pre_burst);
         mc.refresh(burst);
-        mc.wait_no_refresh(half + margin);
+        mc.wait_no_refresh(post_burst);
         Ok(robust::read_row_voted(mc, bank, probe)?.is_clean())
     };
 

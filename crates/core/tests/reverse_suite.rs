@@ -37,7 +37,12 @@ fn analyzer_for_bank(
 }
 
 fn opts() -> ReverseOptions {
-    ReverseOptions { trigger_hammers: 400, ratio_iterations: 72, long_iterations: 200 }
+    ReverseOptions {
+        trigger_hammers: 400,
+        ratio_iterations: 72,
+        long_iterations: 200,
+        phase_act_budget: None,
+    }
 }
 
 #[test]

@@ -62,26 +62,40 @@ pub enum FaultProfile {
     Hostile,
 }
 
+impl FaultProfile {
+    /// Every selectable profile, in command-line order.
+    pub const ALL: [FaultProfile; 3] =
+        [FaultProfile::None, FaultProfile::Mild, FaultProfile::Hostile];
+
+    /// The valid `--faults` spellings, in command-line order.
+    pub fn names() -> [&'static str; 3] {
+        [FaultProfile::None.name(), FaultProfile::Mild.name(), FaultProfile::Hostile.name()]
+    }
+
+    /// The stable lower-case name (the `--faults` spelling).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultProfile::None => "none",
+            FaultProfile::Mild => "mild",
+            FaultProfile::Hostile => "hostile",
+        }
+    }
+}
+
 impl FromStr for FaultProfile {
     type Err = ParseFaultProfileError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        match s {
-            "none" => Ok(FaultProfile::None),
-            "mild" => Ok(FaultProfile::Mild),
-            "hostile" => Ok(FaultProfile::Hostile),
-            _ => Err(ParseFaultProfileError { input: s.to_string() }),
-        }
+        FaultProfile::ALL
+            .into_iter()
+            .find(|p| p.name() == s)
+            .ok_or_else(|| ParseFaultProfileError { input: s.to_string() })
     }
 }
 
 impl fmt::Display for FaultProfile {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
-            FaultProfile::None => "none",
-            FaultProfile::Mild => "mild",
-            FaultProfile::Hostile => "hostile",
-        })
+        f.write_str(self.name())
     }
 }
 
@@ -92,13 +106,40 @@ pub struct ParseFaultProfileError {
     pub input: String,
 }
 
+impl ParseFaultProfileError {
+    /// The valid profile spellings, for callers rendering their own
+    /// usage text.
+    pub fn valid(&self) -> [&'static str; 3] {
+        FaultProfile::names()
+    }
+}
+
 impl fmt::Display for ParseFaultProfileError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "unknown fault profile {:?} (expected none, mild, or hostile)", self.input)
+        write!(
+            f,
+            "unknown fault profile {:?} (valid profiles: {})",
+            self.input,
+            self.valid().join(", ")
+        )
     }
 }
 
 impl std::error::Error for ParseFaultProfileError {}
+
+/// Typed "no injector for this profile" error: [`FaultProfile::None`]
+/// deliberately has no [`FaultConfig`], and callers must handle that
+/// case explicitly instead of treating a silent `None` as "disabled".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultsDisabled;
+
+impl fmt::Display for FaultsDisabled {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fault injection is disabled for profile \"none\"; no injector to build")
+    }
+}
+
+impl std::error::Error for FaultsDisabled {}
 
 /// Tunable fault rates and environmental parameters of a [`FaultPlan`].
 ///
@@ -130,6 +171,12 @@ pub struct FaultConfig {
     pub vrt_burst_switch_prob: f64,
     /// How long one burst episode lasts in simulated time.
     pub vrt_burst_duration: Nanos,
+    /// Coarse ordinal severity reported through
+    /// [`softmc::FaultInjector::severity`]: `1` for substrates the
+    /// baseline self-healing absorbs, `2` for hostile substrates that
+    /// unlock the escalating recovery ladder (adaptive vote widths,
+    /// candidate relocation, drift re-profiling, budget breakers).
+    pub severity: u8,
 }
 
 impl FaultConfig {
@@ -151,6 +198,7 @@ impl FaultConfig {
             vrt_burst_prob: 0.001,
             vrt_burst_switch_prob: 0.5,
             vrt_burst_duration: Nanos::from_ms(200),
+            severity: 1,
         }
     }
 
@@ -170,16 +218,22 @@ impl FaultConfig {
             vrt_burst_prob: 0.01,
             vrt_burst_switch_prob: 0.8,
             vrt_burst_duration: Nanos::from_ms(500),
+            severity: 2,
         }
     }
 
-    /// The configuration for a named profile; `None` for
-    /// [`FaultProfile::None`] (no injector should be installed at all).
-    pub fn for_profile(profile: FaultProfile) -> Option<FaultConfig> {
+    /// The configuration for a named profile.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultsDisabled`] for [`FaultProfile::None`]: there is
+    /// deliberately no configuration to build, and the caller must take
+    /// the explicit no-injector path rather than ignore a silent `None`.
+    pub fn for_profile(profile: FaultProfile) -> Result<FaultConfig, FaultsDisabled> {
         match profile {
-            FaultProfile::None => None,
-            FaultProfile::Mild => Some(FaultConfig::mild()),
-            FaultProfile::Hostile => Some(FaultConfig::hostile()),
+            FaultProfile::None => Err(FaultsDisabled),
+            FaultProfile::Mild => Ok(FaultConfig::mild()),
+            FaultProfile::Hostile => Ok(FaultConfig::hostile()),
         }
     }
 }
@@ -257,9 +311,13 @@ impl FaultPlan {
         }
     }
 
-    /// The plan for a named profile, or `None` for
-    /// [`FaultProfile::None`].
-    pub fn from_profile(profile: FaultProfile, seed: u64) -> Option<Self> {
+    /// The plan for a named profile.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultsDisabled`] for [`FaultProfile::None`] (see
+    /// [`FaultConfig::for_profile`]).
+    pub fn from_profile(profile: FaultProfile, seed: u64) -> Result<Self, FaultsDisabled> {
         FaultConfig::for_profile(profile).map(|cfg| FaultPlan::new(cfg, seed))
     }
 
@@ -363,6 +421,10 @@ impl FaultInjector for FaultPlan {
         WriteFault::None
     }
 
+    fn severity(&self) -> u8 {
+        self.cfg.severity
+    }
+
     fn on_tick(&mut self, now: Nanos, module: &mut Module) {
         if self.cfg.drift_amplitude > 0.0 {
             let phase = now.as_ns() as f64 / self.cfg.drift_period.as_ns().max(1) as f64;
@@ -437,12 +499,14 @@ impl DerefMut for FaultyController {
 /// untouched — the strict no-op path).
 pub fn install(mc: &mut MemoryController, profile: FaultProfile, seed: u64) -> bool {
     match FaultPlan::from_profile(profile, seed) {
-        Some(mut plan) => {
+        Ok(mut plan) => {
             plan.attach_metrics(Arc::clone(mc.registry()));
             mc.set_fault_injector(Some(Box::new(plan)));
             true
         }
-        None => false,
+        // The explicit disabled path: profile `none` must leave the
+        // controller bit-identical to one without the fault layer.
+        Err(FaultsDisabled) => false,
     }
 }
 
@@ -462,8 +526,26 @@ mod tests {
         }
         let err = "warm".parse::<FaultProfile>().unwrap_err();
         assert!(err.to_string().contains("warm"));
-        assert!(FaultConfig::for_profile(FaultProfile::None).is_none());
-        assert!(FaultPlan::from_profile(FaultProfile::None, 1).is_none());
+        assert!(
+            err.to_string().contains("none, mild, hostile"),
+            "parse error must list the valid profiles: {err}"
+        );
+        assert_eq!(err.valid(), FaultProfile::names());
+        assert_eq!(FaultConfig::for_profile(FaultProfile::None), Err(FaultsDisabled));
+        assert!(FaultPlan::from_profile(FaultProfile::None, 1).is_err());
+        assert!(FaultsDisabled.to_string().contains("disabled"));
+    }
+
+    #[test]
+    fn severity_escalates_with_the_profile() {
+        assert_eq!(FaultConfig::mild().severity, 1);
+        assert_eq!(FaultConfig::hostile().severity, 2);
+        let mut mc = MemoryController::new(module());
+        assert_eq!(mc.fault_severity(), 0);
+        assert!(install(&mut mc, FaultProfile::Mild, 1));
+        assert_eq!(mc.fault_severity(), 1);
+        assert!(install(&mut mc, FaultProfile::Hostile, 1));
+        assert_eq!(mc.fault_severity(), 2);
     }
 
     #[test]

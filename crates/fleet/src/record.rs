@@ -22,6 +22,7 @@ use obs::MetricsRegistry;
 use utrr_bench::{
     attack_columns, detection_label, measure_hc_first_faulty, try_reverse_engineer_module_faulty,
 };
+use utrr_core::recovery::VerdictTier;
 
 use crate::gen::synth_spec;
 
@@ -106,6 +107,20 @@ pub struct FleetRecord {
     pub read_disagreements: u64,
     /// Verified-write retries.
     pub write_retries: u64,
+    /// Verdict-confidence tier label (`confirmed` / `degraded` /
+    /// `inconclusive`; see [`VerdictTier`]). Additive `utrr-fleet/1`
+    /// field: absent in pre-tier streams, which read as `confirmed`.
+    pub tier: String,
+    /// `+`-joined degradation reasons (empty unless degraded).
+    pub tier_reasons: String,
+    /// Recovery ladder: majority-vote width escalations.
+    pub vote_widenings: u64,
+    /// Recovery ladder: Row Scout window relocations.
+    pub relocations: u64,
+    /// Recovery ladder: retention-margin re-profiles.
+    pub reprofiles: u64,
+    /// Recovery ladder: ACT-budget circuit-breaker trips.
+    pub budget_trips: u64,
 }
 
 /// Retry budget for the reverse-engineering suite. On arbitrary seeds a
@@ -117,12 +132,17 @@ pub const RE_ATTEMPTS: u32 = 4;
 
 /// Runs the full pipeline for module `index` and returns its record.
 ///
+/// Under the `hostile` profile a module whose reverse engineering
+/// exhausts all [`RE_ATTEMPTS`] experiment seeds is recorded as
+/// `inconclusive` — with its recovery-ladder history and the
+/// RE-independent measurements (`HC_first`, attack columns) — and the
+/// sweep continues: hostile faults never abort a shard.
+///
 /// # Panics
 ///
 /// Panics when the reverse-engineering suite cannot complete within
-/// [`RE_ATTEMPTS`] experiment seeds (e.g. under `hostile` faults) — the
-/// fleet executor promises correctness for `none` and `mild` profiles
-/// only.
+/// [`RE_ATTEMPTS`] experiment seeds below hostile severity — the fleet
+/// executor promises full correctness for `none` and `mild` profiles.
 pub fn characterize(params: &SweepParams, index: u64) -> FleetRecord {
     let synth = synth_spec(params.fleet_seed, index, params.base_rows);
     let spec = &synth.spec;
@@ -145,11 +165,16 @@ pub fn characterize(params: &SweepParams, index: u64) -> FleetRecord {
             params.fault_profile,
             fault_seed,
         ) {
-            Ok(re) => break re,
+            Ok(re) => break Some(re),
             Err(e) if re_attempts < RE_ATTEMPTS => {
                 registry.counter(CTR_RE_RETRIES).inc();
                 let _ = e;
             }
+            // The retry ladder is exhausted. Hostile shards isolate the
+            // failure as an inconclusive record and keep sweeping;
+            // below hostile severity an exhausted ladder is a real
+            // regression and still aborts loudly.
+            Err(_) if params.fault_profile == FaultProfile::Hostile => break None,
             Err(e) => panic!(
                 "module {} (index {index}): reverse engineering failed after \
                  {re_attempts} attempts: {e}",
@@ -179,6 +204,20 @@ pub fn characterize(params: &SweepParams, index: u64) -> FleetRecord {
     let sweep = attack_columns(spec, &eval);
 
     let counter = |name: &str| registry.counter(name).get();
+    // An inconclusive module keeps placeholder profile columns; its
+    // RE-independent measurements (HC_first, attack sweep) are real.
+    let (re_match, ratio, neighbors, detection, per_bank, refresh_period, tier) = match &re {
+        Some(re) => (
+            re.matches.all(),
+            re.profile.trr_ref_ratio,
+            re.profile.neighbors_refreshed,
+            detection_label(&re.profile.detection),
+            re.profile.per_bank,
+            re.refresh_period,
+            re.tier.clone(),
+        ),
+        None => (false, 0, 0, "inconclusive".to_string(), false, 0, VerdictTier::Inconclusive),
+    };
     FleetRecord {
         index,
         id: spec.id.clone(),
@@ -190,13 +229,13 @@ pub fn characterize(params: &SweepParams, index: u64) -> FleetRecord {
         seed: synth.seed,
         retention_scale: spec.retention_scale,
         hc_first_gt: spec.hc_first,
-        re_match: re.matches.all(),
+        re_match,
         re_attempts,
-        ratio: re.profile.trr_ref_ratio,
-        neighbors: re.profile.neighbors_refreshed,
-        detection: detection_label(&re.profile.detection),
-        per_bank: re.profile.per_bank,
-        refresh_period: re.refresh_period,
+        ratio,
+        neighbors,
+        detection,
+        per_bank,
+        refresh_period,
         hc_first_measured: hc,
         vulnerable_pct: sweep.vulnerable_pct(),
         max_flips_per_hammer: sweep.max_flips_per_row_per_hammer(),
@@ -207,6 +246,12 @@ pub fn characterize(params: &SweepParams, index: u64) -> FleetRecord {
         reads_voted: counter(utrr_core::robust::CTR_VOTED_READS),
         read_disagreements: counter(utrr_core::robust::CTR_READ_DISAGREEMENTS),
         write_retries: counter(utrr_core::robust::CTR_WRITE_RETRIES),
+        tier: tier.label().to_string(),
+        tier_reasons: tier.reasons_string(),
+        vote_widenings: counter(utrr_core::recovery::CTR_VOTE_WIDENINGS),
+        relocations: counter(utrr_core::recovery::CTR_RELOCATIONS),
+        reprofiles: counter(utrr_core::recovery::CTR_REPROFILES),
+        budget_trips: counter(utrr_core::recovery::CTR_BUDGET_TRIPS),
     }
 }
 
@@ -222,7 +267,9 @@ impl FleetRecord {
                 "\"detection\":\"{}\",\"per_bank\":{},\"refresh_period\":{},\"hc_meas\":{},",
                 "\"vuln_pct\":{:.2},\"max_flips_hammer\":{:.3},\"max_flips_word\":{},",
                 "\"scout_retries\":{},\"scout_quarantined\":{},\"faults_injected\":{},",
-                "\"reads_voted\":{},\"read_disagreements\":{},\"write_retries\":{}}}"
+                "\"reads_voted\":{},\"read_disagreements\":{},\"write_retries\":{},",
+                "\"tier\":\"{}\",\"tier_reasons\":\"{}\",\"vote_widenings\":{},",
+                "\"relocations\":{},\"reprofiles\":{},\"budget_trips\":{}}}"
             ),
             self.index,
             self.id,
@@ -251,6 +298,12 @@ impl FleetRecord {
             self.reads_voted,
             self.read_disagreements,
             self.write_retries,
+            self.tier,
+            self.tier_reasons,
+            self.vote_widenings,
+            self.relocations,
+            self.reprofiles,
+            self.budget_trips,
         )
     }
 
@@ -292,7 +345,20 @@ impl FleetRecord {
             reads_voted: u("reads_voted")?,
             read_disagreements: u("read_disagreements")?,
             write_retries: u("write_retries")?,
+            // Additive tier/ladder fields: pre-tier streams lack them
+            // and read as confirmed with a quiet ladder.
+            tier: s("tier").unwrap_or_else(|| "confirmed".to_string()),
+            tier_reasons: s("tier_reasons").unwrap_or_default(),
+            vote_widenings: u("vote_widenings").unwrap_or(0),
+            relocations: u("relocations").unwrap_or(0),
+            reprofiles: u("reprofiles").unwrap_or(0),
+            budget_trips: u("budget_trips").unwrap_or(0),
         })
+    }
+
+    /// The record's verdict tier, decoded from its wire fields.
+    pub fn verdict_tier(&self) -> VerdictTier {
+        VerdictTier::from_wire(&self.tier, &self.tier_reasons)
     }
 }
 
@@ -330,6 +396,12 @@ mod tests {
             reads_voted: 1000,
             read_disagreements: 3,
             write_retries: 1,
+            tier: "degraded".into(),
+            tier_reasons: "scout-shortfall+act-budget".into(),
+            vote_widenings: 2,
+            relocations: 3,
+            reprofiles: 1,
+            budget_trips: 1,
         }
     }
 
@@ -346,6 +418,33 @@ mod tests {
     fn meta_lines_are_rejected() {
         let meta = parse_json(r#"{"schema":"utrr-fleet/1","modules":4}"#).unwrap();
         assert!(FleetRecord::from_json(&meta).is_none());
+    }
+
+    #[test]
+    fn pre_tier_records_parse_with_confirmed_defaults() {
+        // A line written before the tier fields existed must still
+        // parse — tier fields default to a confirmed, quiet ladder.
+        let mut legacy = sample();
+        legacy.tier = "confirmed".into();
+        legacy.tier_reasons.clear();
+        legacy.vote_widenings = 0;
+        legacy.relocations = 0;
+        legacy.reprofiles = 0;
+        legacy.budget_trips = 0;
+        let line = legacy.to_json_line();
+        let cut = line.find(",\"tier\"").expect("tier fields rendered");
+        let pre_tier = format!("{}}}", &line[..cut]);
+        let value = parse_json(&pre_tier).expect("legacy line parses");
+        let parsed = FleetRecord::from_json(&value).expect("legacy record accepted");
+        assert_eq!(parsed, legacy);
+        assert!(parsed.verdict_tier().is_confirmed());
+    }
+
+    #[test]
+    fn verdict_tier_decodes_wire_fields() {
+        let tier = sample().verdict_tier();
+        assert_eq!(tier.label(), "degraded");
+        assert_eq!(tier.reasons_string(), "scout-shortfall+act-budget");
     }
 
     #[test]

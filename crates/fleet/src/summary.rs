@@ -56,6 +56,17 @@ pub struct FleetSummary {
     /// The modules with the most recovery activity
     /// (retries + quarantines), up to five, noisiest first.
     pub noisiest: Vec<(String, u64)>,
+    /// Modules whose verdict is `confirmed`.
+    pub tier_confirmed: u64,
+    /// Modules whose verdict is `degraded`.
+    pub tier_degraded: u64,
+    /// Modules whose verdict is `inconclusive`.
+    pub tier_inconclusive: u64,
+    /// Degradation reasons tallied fleet-wide, sorted by reason.
+    pub degraded_reasons: Vec<(String, u64)>,
+    /// Recovery-ladder totals: vote widenings, relocations,
+    /// re-profiles, budget trips.
+    pub ladder: [u64; 4],
 }
 
 impl FleetSummary {
@@ -74,7 +85,13 @@ impl FleetSummary {
             re_retries: 0,
             read_disagreements: 0,
             noisiest: Vec::new(),
+            tier_confirmed: 0,
+            tier_degraded: 0,
+            tier_inconclusive: 0,
+            degraded_reasons: Vec::new(),
+            ladder: [0; 4],
         };
+        let mut reasons: Vec<(String, u64)> = Vec::new();
         for r in records {
             summary.re_matches += u64::from(r.re_match);
             summary.re_retries += u64::from(r.re_attempts.saturating_sub(1));
@@ -97,7 +114,27 @@ impl FleetSummary {
             if noise > 0 {
                 recovery.push((r.id.clone(), noise));
             }
+            match r.tier.as_str() {
+                "degraded" => {
+                    summary.tier_degraded += 1;
+                    for reason in r.tier_reasons.split('+').filter(|s| !s.is_empty()) {
+                        match reasons.iter_mut().find(|(name, _)| name == reason) {
+                            Some((_, n)) => *n += 1,
+                            None => reasons.push((reason.to_string(), 1)),
+                        }
+                    }
+                }
+                "inconclusive" => summary.tier_inconclusive += 1,
+                // Pre-tier records read as confirmed.
+                _ => summary.tier_confirmed += 1,
+            }
+            summary.ladder[0] += r.vote_widenings;
+            summary.ladder[1] += r.relocations;
+            summary.ladder[2] += r.reprofiles;
+            summary.ladder[3] += r.budget_trips;
         }
+        reasons.sort_by(|a, b| a.0.cmp(&b.0));
+        summary.degraded_reasons = reasons;
         variants.sort_by(|a, b| a.0.cmp(&b.0));
         for (trr_version, count, re_matches, hist, vulnerable_pct_sum) in variants {
             let hc_measured = hist.snapshot();
@@ -180,6 +217,34 @@ impl FleetSummary {
             self.read_disagreements,
             self.re_retries
         ));
+        // Tier shares and ladder totals only appear once a run produced
+        // something non-default, so `none`/`mild` reports are unchanged.
+        if self.tier_degraded > 0 || self.tier_inconclusive > 0 {
+            out.push_str(&format!(
+                "verdict tiers: {} confirmed ({:.1}%), {} degraded ({:.1}%), \
+                 {} inconclusive ({:.1}%)\n",
+                self.tier_confirmed,
+                pct(self.tier_confirmed, self.modules),
+                self.tier_degraded,
+                pct(self.tier_degraded, self.modules),
+                self.tier_inconclusive,
+                pct(self.tier_inconclusive, self.modules),
+            ));
+            if !self.degraded_reasons.is_empty() {
+                out.push_str("degraded reasons:");
+                for (reason, n) in &self.degraded_reasons {
+                    out.push_str(&format!(" {reason}={n}"));
+                }
+                out.push('\n');
+            }
+        }
+        if self.ladder.iter().any(|&n| n > 0) {
+            out.push_str(&format!(
+                "recovery ladder: {} vote widenings, {} relocations, {} re-profiles, \
+                 {} budget trips\n",
+                self.ladder[0], self.ladder[1], self.ladder[2], self.ladder[3],
+            ));
+        }
         if !self.noisiest.is_empty() {
             out.push_str("noisiest modules (retries+quarantines):");
             for (id, noise) in &self.noisiest {
@@ -232,6 +297,12 @@ mod tests {
             reads_voted: 100,
             read_disagreements: retries,
             write_retries: 0,
+            tier: "confirmed".into(),
+            tier_reasons: String::new(),
+            vote_widenings: 0,
+            relocations: 0,
+            reprofiles: 0,
+            budget_trips: 0,
         }
     }
 
@@ -260,6 +331,49 @@ mod tests {
         assert!(report.contains("3 modules"), "{report}");
         assert!(report.contains("A_TRR1"), "{report}");
         assert!(report.contains("recovery: 7 scout retries"), "{report}");
+    }
+
+    #[test]
+    fn all_confirmed_reports_omit_tier_and_ladder_lines() {
+        // The mild/none byte-identity contract: a fleet with only
+        // confirmed verdicts and a quiet ladder renders exactly the
+        // pre-tier report.
+        let summary = FleetSummary::from_records(&[record(0, "A_TRR1", 10_000, true, 0)]);
+        assert_eq!(summary.tier_confirmed, 1);
+        let report = summary.render();
+        assert!(!report.contains("verdict tiers"), "{report}");
+        assert!(!report.contains("recovery ladder"), "{report}");
+    }
+
+    #[test]
+    fn hostile_tiers_and_ladder_totals_are_reported() {
+        let mut degraded = record(1, "A_TRR1", 12_000, true, 1);
+        degraded.tier = "degraded".into();
+        degraded.tier_reasons = "scout-shortfall+act-budget".into();
+        degraded.vote_widenings = 2;
+        degraded.budget_trips = 1;
+        let mut inconclusive = record(2, "B_TRR2", 14_000, false, 3);
+        inconclusive.tier = "inconclusive".into();
+        inconclusive.relocations = 3;
+        inconclusive.reprofiles = 1;
+        let summary = FleetSummary::from_records(&[
+            record(0, "A_TRR1", 10_000, true, 0),
+            degraded,
+            inconclusive,
+        ]);
+        assert_eq!(
+            (summary.tier_confirmed, summary.tier_degraded, summary.tier_inconclusive),
+            (1, 1, 1)
+        );
+        assert_eq!(
+            summary.degraded_reasons,
+            vec![("act-budget".to_string(), 1), ("scout-shortfall".to_string(), 1)]
+        );
+        assert_eq!(summary.ladder, [2, 3, 1, 1]);
+        let report = summary.render();
+        assert!(report.contains("verdict tiers: 1 confirmed (33.3%), 1 degraded"), "{report}");
+        assert!(report.contains("degraded reasons: act-budget=1 scout-shortfall=1"), "{report}");
+        assert!(report.contains("recovery ladder: 2 vote widenings, 3 relocations"), "{report}");
     }
 
     #[test]

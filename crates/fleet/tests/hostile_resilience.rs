@@ -1,0 +1,120 @@
+//! Hostile-profile contracts: recovery outcomes are deterministic
+//! across thread counts, and a shard that contains modules the retry
+//! ladder cannot save still checkpoints, resumes, and merges with
+//! `inconclusive` records instead of aborting the sweep.
+
+use std::path::PathBuf;
+
+use faults::FaultProfile;
+use utrr_fleet::executor::run_fleet;
+use utrr_fleet::record::{FleetRecord, SweepParams};
+use utrr_fleet::{FleetConfig, RunOptions};
+
+fn hostile_config(base_rows: u32) -> FleetConfig {
+    FleetConfig {
+        modules: 4,
+        shards: 2,
+        params: SweepParams {
+            fleet_seed: 11,
+            base_rows,
+            hc_samples: 2,
+            attack_samples: 2,
+            fault_profile: FaultProfile::Hostile,
+            fault_seed: 1,
+        },
+    }
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("utrr-hostile-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn opts(dir: &std::path::Path, threads: usize) -> RunOptions {
+    let mut opts = RunOptions::new(dir.to_path_buf());
+    opts.pool = par::ParConfig::with_threads(threads);
+    opts
+}
+
+fn records(path: &std::path::Path) -> Vec<FleetRecord> {
+    std::fs::read_to_string(path)
+        .expect("read merged")
+        .lines()
+        // The first line is the sweep's schema header, not a record.
+        .filter_map(|l| {
+            let value = obs::jsonl::parse_json(l).expect("parse json");
+            FleetRecord::from_json(&value)
+        })
+        .collect()
+}
+
+/// The recovery ladder (vote widening, relocation, re-profiling) runs
+/// inside each module's private controller, so its outcome must not
+/// depend on how modules are scheduled onto worker threads.
+#[test]
+fn hostile_recovery_is_byte_identical_across_thread_counts() {
+    let config = hostile_config(2_048);
+
+    let ref_dir = fresh_dir("threads-ref");
+    let reference = run_fleet(&config, &opts(&ref_dir, 1)).expect("reference run");
+    let ref_bytes =
+        std::fs::read(reference.merged_path.as_ref().expect("merged")).expect("read merged");
+
+    for threads in [2usize, 8] {
+        let dir = fresh_dir(&format!("threads-{threads}"));
+        let run = run_fleet(&config, &opts(&dir, threads)).expect("threaded run");
+        let bytes = std::fs::read(run.merged_path.as_ref().expect("merged")).expect("read merged");
+        assert_eq!(bytes, ref_bytes, "threads={threads}: merged bytes differ");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let _ = std::fs::remove_dir_all(&ref_dir);
+}
+
+/// Below ~2048 scaled rows the Row Scout runs dry, exhausting the
+/// reverse-engineering retry ladder. Under hostile severity that must
+/// produce `inconclusive` records — never a shard abort — and a killed
+/// run over such a shard must resume to the same merged bytes.
+#[test]
+fn inconclusive_modules_survive_kill_and_resume() {
+    // 64 base rows starves the scout for one of the four modules at
+    // this seed pair; the other three limp through as degraded.
+    let config = hostile_config(64);
+
+    let ref_dir = fresh_dir("inconclusive-ref");
+    let reference = run_fleet(&config, &opts(&ref_dir, 1)).expect("hostile must not abort");
+    assert!(!reference.stopped_early);
+    let merged = reference.merged_path.as_ref().expect("merged");
+    let ref_bytes = std::fs::read(merged).expect("read merged");
+
+    let recs = records(merged);
+    assert_eq!(recs.len(), config.modules as usize);
+    let inconclusive = recs.iter().filter(|r| r.tier == "inconclusive").count();
+    assert!(
+        inconclusive > 0,
+        "expected the dry scout to exhaust the retry ladder for at least one module"
+    );
+    for r in recs.iter().filter(|r| r.tier == "inconclusive") {
+        assert!(!r.re_match, "an inconclusive module must not claim a match");
+        assert_eq!(r.detection, "inconclusive");
+        assert!(!r.verdict_tier().is_confirmed());
+    }
+
+    // Kill after shard 0, then resume: the inconclusive records come
+    // back verbatim from the checkpoint and merge byte-identically.
+    let dir = fresh_dir("inconclusive-kill");
+    let mut killed = opts(&dir, 2);
+    killed.stop_after_shards = Some(1);
+    let partial = run_fleet(&config, &killed).expect("partial hostile run");
+    assert!(partial.stopped_early);
+
+    let mut resumed = opts(&dir, 2);
+    resumed.resume = true;
+    let full = run_fleet(&config, &resumed).expect("resumed hostile run");
+    assert_eq!(full.skipped_shards, 1);
+    let bytes = std::fs::read(dir.join("fleet.jsonl")).expect("read merged");
+    assert_eq!(bytes, ref_bytes, "resumed merged bytes differ");
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&ref_dir);
+}

@@ -127,6 +127,19 @@ pub fn render_summary(registry: &MetricsRegistry) -> String {
         }
     }
 
+    // The adaptive recovery ladder gets its own section: these counters
+    // (vote widenings, relocations, re-profiles, budget trips) say how
+    // hard the pipeline had to fight to produce its verdict. Quiet
+    // ladders render nothing, so sub-hostile summaries are unchanged.
+    let ladder: Vec<_> =
+        counters.iter().filter(|(name, _)| name.starts_with("utrr.recovery.")).collect();
+    if ladder.iter().any(|(_, v)| *v > 0) {
+        let _ = writeln!(out, "recovery ladder");
+        for (name, value) in &ladder {
+            let _ = writeln!(out, "  {name:<name_width$} {value:>14}");
+        }
+    }
+
     if !events.is_empty() || dropped > 0 {
         let mut by_kind: BTreeMap<&str, u64> = BTreeMap::new();
         for event in &events {
@@ -165,6 +178,24 @@ mod tests {
         assert!(summary.contains("inject   faults.injected.read_flips"), "{summary}");
         assert!(summary.contains("recover  utrr.robust.read_disagreements"), "{summary}");
         assert!(summary.contains("recover  utrr.schedule.retries"), "{summary}");
+    }
+
+    #[test]
+    fn recovery_ladder_counters_get_their_own_section() {
+        let registry = MetricsRegistry::new();
+        registry.counter("utrr.recovery.vote_widenings").add(2);
+        registry.counter("utrr.recovery.budget_trips").add(1);
+        let summary = render_summary(&registry);
+        assert!(summary.contains("recovery ladder"), "missing section:\n{summary}");
+        assert!(summary.contains("utrr.recovery.vote_widenings"), "{summary}");
+    }
+
+    #[test]
+    fn quiet_ladder_renders_no_section() {
+        let registry = MetricsRegistry::new();
+        registry.counter("utrr.recovery.vote_widenings");
+        registry.counter("dram.cmd.act").add(1);
+        assert!(!render_summary(&registry).contains("recovery ladder"));
     }
 
     #[test]

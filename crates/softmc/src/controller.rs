@@ -65,6 +65,48 @@ impl HammerSpec {
     }
 }
 
+/// Per-controller adaptive-recovery ladder state.
+///
+/// Every decision the recovery ladder makes (vote width, relocation
+/// attempts, drift re-profiling, budget trips) must be a pure function
+/// of this controller's own command history — never of a shared metrics
+/// registry, whose counters interleave nondeterministically across
+/// worker threads. The controller therefore carries the ladder state
+/// itself; the `utrr_core` recovery policy reads and updates it, and
+/// mirrors the totals into (commutative) registry counters for
+/// reporting only.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryLadder {
+    /// Current majority-vote width (`0` = policy default of 3).
+    pub vote_width: u8,
+    /// Voted reads observed since the last widening step.
+    pub voted_reads: u64,
+    /// Vote disagreements observed since the last widening step.
+    pub disagreements: u64,
+    /// Times the vote width was widened (3→5, 5→7).
+    pub vote_widenings: u64,
+    /// Row Scout candidate windows relocated to fresh subarray regions.
+    pub relocations: u64,
+    /// Mid-run retention-drift re-profiles (margin ladder escalations).
+    pub reprofiles: u64,
+    /// Phases closed early by an ACT-budget circuit breaker.
+    pub budget_trips: u64,
+}
+
+impl RecoveryLadder {
+    /// Records one voted read and its disagreement outcome.
+    pub fn record_vote(&mut self, disagreed: bool) {
+        self.voted_reads += 1;
+        self.disagreements += u64::from(disagreed);
+    }
+
+    /// Resets the disagreement-rate window (after a widening step).
+    pub fn reset_vote_window(&mut self) {
+        self.voted_reads = 0;
+        self.disagreements = 0;
+    }
+}
+
 /// A command-level memory controller driving one simulated module.
 ///
 /// See the [crate docs](crate) for an end-to-end example.
@@ -75,18 +117,20 @@ pub struct MemoryController {
     /// `None` (the default) keeps every code path bit-identical to a
     /// controller without the hook.
     faults: Option<Box<dyn FaultInjector>>,
+    /// Adaptive-recovery ladder state (see [`RecoveryLadder`]).
+    recovery: RecoveryLadder,
 }
 
 impl MemoryController {
     /// Takes ownership of a module. No refresh happens unless explicitly
     /// requested.
     pub fn new(module: Module) -> Self {
-        MemoryController { module, faults: None }
+        MemoryController { module, faults: None, recovery: RecoveryLadder::default() }
     }
 
     /// A controller with a fault injector installed from the start.
     pub fn with_faults(module: Module, injector: Box<dyn FaultInjector>) -> Self {
-        MemoryController { module, faults: Some(injector) }
+        MemoryController { module, faults: Some(injector), recovery: RecoveryLadder::default() }
     }
 
     /// Installs (or, with `None`, removes) the fault injector.
@@ -100,6 +144,23 @@ impl MemoryController {
     /// only perturb command-stream reproducibility.
     pub fn faults_enabled(&self) -> bool {
         self.faults.is_some()
+    }
+
+    /// The installed injector's [`FaultInjector::severity`], or `0` when
+    /// no injector is installed. Recovery policies gate their escalating
+    /// stages on `>= 2` so milder substrates keep exact command streams.
+    pub fn fault_severity(&self) -> u8 {
+        self.faults.as_ref().map_or(0, |f| f.severity())
+    }
+
+    /// The adaptive-recovery ladder state (read-only).
+    pub fn recovery(&self) -> &RecoveryLadder {
+        &self.recovery
+    }
+
+    /// The adaptive-recovery ladder state, for the recovery policy.
+    pub fn recovery_mut(&mut self) -> &mut RecoveryLadder {
+        &mut self.recovery
     }
 
     /// Runs `f` with the injector temporarily detached, so the hook can

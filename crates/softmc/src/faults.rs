@@ -57,6 +57,17 @@ pub trait FaultInjector: std::fmt::Debug {
     /// conditions — retention drift, VRT burst episodes — by mutating
     /// the device directly.
     fn on_tick(&mut self, now: Nanos, module: &mut Module);
+
+    /// How aggressive the injected substrate is, on a coarse ordinal
+    /// scale: `1` (the default) for substrates the baseline self-healing
+    /// (voting, bounded retries) absorbs, `2` and up for hostile
+    /// substrates that warrant escalating recovery — adaptive vote
+    /// widths, candidate relocation, mid-run drift re-profiling. The
+    /// pipeline keys its recovery ladder off this value so that milder
+    /// profiles keep their exact command streams.
+    fn severity(&self) -> u8 {
+        1
+    }
 }
 
 #[cfg(test)]

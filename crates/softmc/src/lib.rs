@@ -43,7 +43,7 @@ pub mod faults;
 pub mod program;
 pub mod trace;
 
-pub use controller::{HammerMode, HammerSpec, MemoryController};
+pub use controller::{HammerMode, HammerSpec, MemoryController, RecoveryLadder};
 pub use faults::{FaultInjector, WriteFault};
 pub use program::{Instruction, Program, ProgramOutput};
 pub use trace::{CommandTrace, TraceCommand, TraceEntry};
