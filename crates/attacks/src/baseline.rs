@@ -6,11 +6,17 @@
 //! of the 45 DDR4 modules" — the baselines exist to demonstrate exactly
 //! that against the planted TRR engines, and to flip bits on
 //! TRR-less modules.
+//!
+//! Each baseline is a [`PatternGenerator`] with a canonical scheduler
+//! (via [`BuiltinAttack`]), so it runs standalone as an
+//! [`crate::AccessPattern`] and slots into
+//! [`crate::AttackBuilder::from_attack`] unchanged.
 
-use dram_sim::DramError;
 use softmc::MemoryController;
 
-use crate::pattern::{AccessPattern, PatternTarget};
+use crate::components::{AggressorLayout, BuiltinAttack, PatternGenerator, RowDose};
+use crate::pattern::PatternTarget;
+use crate::schedulers::{CascadeScheduler, InterleaveScheduler, RoundRobinScheduler};
 
 /// Repeatedly activate one aggressor row (Fig. 2a).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,22 +32,33 @@ impl SingleSided {
     }
 }
 
-impl AccessPattern for SingleSided {
-    fn name(&self) -> &str {
+impl PatternGenerator for SingleSided {
+    fn id(&self) -> &str {
         "single-sided"
     }
 
-    fn hammers_per_aggressor_per_ref(&self) -> f64 {
+    fn rate_per_ref(&self) -> f64 {
         self.hammers as f64
     }
 
-    fn run_interval(
-        &self,
-        mc: &mut MemoryController,
-        target: &PatternTarget,
-        _interval: u64,
-    ) -> Result<(), DramError> {
-        mc.module_mut().hammer(target.bank, target.aggressors[0], self.hammers)
+    fn layout(&self, _mc: &MemoryController, target: &PatternTarget) -> AggressorLayout {
+        AggressorLayout {
+            aggressors: target
+                .aggressors
+                .first()
+                .map(|&a| RowDose::new(a, self.hammers))
+                .into_iter()
+                .collect(),
+            ..AggressorLayout::default()
+        }
+    }
+}
+
+impl BuiltinAttack for SingleSided {
+    type Sched = CascadeScheduler;
+
+    fn scheduler(&self) -> CascadeScheduler {
+        CascadeScheduler
     }
 }
 
@@ -59,26 +76,32 @@ impl DoubleSided {
     }
 }
 
-impl AccessPattern for DoubleSided {
-    fn name(&self) -> &str {
+impl PatternGenerator for DoubleSided {
+    fn id(&self) -> &str {
         "double-sided"
     }
 
-    fn hammers_per_aggressor_per_ref(&self) -> f64 {
+    fn rate_per_ref(&self) -> f64 {
         self.hammers_per_aggressor as f64
     }
 
-    fn run_interval(
-        &self,
-        mc: &mut MemoryController,
-        target: &PatternTarget,
-        _interval: u64,
-    ) -> Result<(), DramError> {
-        match target.aggressors[..] {
-            [a] => mc.module_mut().hammer(target.bank, a, self.hammers_per_aggressor),
-            [a, b] => mc.module_mut().hammer_pair(target.bank, a, b, self.hammers_per_aggressor),
-            _ => Ok(()),
+    fn layout(&self, _mc: &MemoryController, target: &PatternTarget) -> AggressorLayout {
+        AggressorLayout {
+            aggressors: target
+                .aggressors
+                .iter()
+                .map(|&a| RowDose::new(a, self.hammers_per_aggressor))
+                .collect(),
+            ..AggressorLayout::default()
         }
+    }
+}
+
+impl BuiltinAttack for DoubleSided {
+    type Sched = InterleaveScheduler;
+
+    fn scheduler(&self) -> InterleaveScheduler {
+        InterleaveScheduler
     }
 }
 
@@ -102,33 +125,40 @@ impl ManySided {
     }
 }
 
-impl AccessPattern for ManySided {
-    fn name(&self) -> &str {
+impl PatternGenerator for ManySided {
+    fn id(&self) -> &str {
         "many-sided"
     }
 
-    fn hammers_per_aggressor_per_ref(&self) -> f64 {
+    fn rate_per_ref(&self) -> f64 {
         self.hammers_per_aggressor as f64
     }
 
-    fn run_interval(
-        &self,
-        mc: &mut MemoryController,
-        target: &PatternTarget,
-        _interval: u64,
-    ) -> Result<(), DramError> {
+    fn layout(&self, _mc: &MemoryController, target: &PatternTarget) -> AggressorLayout {
         // Victim-adjacent aggressors first, decoys (from the dummy pool)
-        // after, all interleaved one activation at a time.
-        let mut rows = target.aggressors.clone();
-        rows.extend(
-            target.dummies.iter().copied().take((self.sides as usize).saturating_sub(rows.len())),
-        );
-        for _ in 0..self.hammers_per_aggressor {
-            for &row in &rows {
-                mc.module_mut().hammer(target.bank, row, 1)?;
-            }
-        }
-        Ok(())
+        // after; the round-robin scheduler interleaves them one
+        // activation at a time.
+        let aggressors: Vec<RowDose> = target
+            .aggressors
+            .iter()
+            .map(|&a| RowDose::new(a, self.hammers_per_aggressor))
+            .collect();
+        let decoys = target
+            .dummies
+            .iter()
+            .copied()
+            .take((self.sides as usize).saturating_sub(aggressors.len()))
+            .map(|d| RowDose::new(d, self.hammers_per_aggressor))
+            .collect();
+        AggressorLayout { aggressors, dummies: decoys, other_bank: Vec::new() }
+    }
+}
+
+impl BuiltinAttack for ManySided {
+    type Sched = RoundRobinScheduler;
+
+    fn scheduler(&self) -> RoundRobinScheduler {
+        RoundRobinScheduler
     }
 }
 
@@ -136,6 +166,7 @@ impl AccessPattern for ManySided {
 mod tests {
     use super::*;
     use crate::eval::{sweep_bank_module, EvalConfig};
+    use crate::pattern::AccessPattern;
     use dram_sim::{Bank, Module, ModuleConfig, PhysRow};
     use trr::CounterTrr;
 

@@ -1,14 +1,20 @@
 //! The §7.1 custom RowHammer access patterns, crafted from the U-TRR
 //! findings to keep TRR from refreshing the aggressors' victims.
+//!
+//! Each vendor pattern is a [`PatternGenerator`] paired with its
+//! REF-synchronised scheduler; the [`pattern_for`] /
+//! [`pattern_with_hammers`] factories assemble them through
+//! [`AttackBuilder`], which is also how downstream code (the Fig. 8
+//! sweep, the fuzzer's seeds) composes variants.
 
-use dram_sim::DramError;
 use softmc::MemoryController;
 use utrr_modules::{ModuleSpec, Vendor};
 
+use crate::components::{
+    AggressorLayout, AttackBuilder, BuiltinAttack, PatternGenerator, RowDose, INTERVAL_BUDGET,
+};
 use crate::pattern::{AccessPattern, PatternTarget};
-
-/// Single-bank activation budget between two `REF`s (footnote 10).
-const INTERVAL_BUDGET: u64 = 149;
+use crate::schedulers::{CascadeScheduler, RefSyncScheduler, WindowSyncScheduler};
 
 /// Vendor A: hammer the two aggressors right after a `REF`, then insert
 /// 16 dummy rows to push the aggressors out of the per-bank 16-entry
@@ -50,32 +56,42 @@ impl VendorAPattern {
     }
 }
 
-impl AccessPattern for VendorAPattern {
-    fn name(&self) -> &str {
+impl PatternGenerator for VendorAPattern {
+    fn id(&self) -> &str {
         "custom-vendor-A"
     }
 
-    fn hammers_per_aggressor_per_ref(&self) -> f64 {
+    fn rate_per_ref(&self) -> f64 {
         self.aggressor_hammers as f64
     }
 
-    fn run_interval(
-        &self,
-        mc: &mut MemoryController,
-        target: &PatternTarget,
-        _interval: u64,
-    ) -> Result<(), DramError> {
+    fn layout(&self, _mc: &MemoryController, target: &PatternTarget) -> AggressorLayout {
         // Cascaded aggressor hammering: interleaving two non-resident
         // rows would let each insertion evict the other from the LRU
         // table (§5.2: "cascaded hammering is more effective at evading
-        // the TRR mechanism").
-        for &aggressor in &target.aggressors {
-            mc.module_mut().hammer(target.bank, aggressor, self.aggressor_hammers)?;
+        // the TRR mechanism") — hence the cascade scheduler.
+        AggressorLayout {
+            aggressors: target
+                .aggressors
+                .iter()
+                .map(|&a| RowDose::new(a, self.aggressor_hammers))
+                .collect(),
+            dummies: target
+                .dummies
+                .iter()
+                .take(self.dummy_rows)
+                .map(|&d| RowDose::new(d, self.dummy_hammers))
+                .collect(),
+            other_bank: Vec::new(),
         }
-        for &dummy in target.dummies.iter().take(self.dummy_rows) {
-            mc.module_mut().hammer(target.bank, dummy, self.dummy_hammers)?;
-        }
-        Ok(())
+    }
+}
+
+impl BuiltinAttack for VendorAPattern {
+    type Sched = CascadeScheduler;
+
+    fn scheduler(&self) -> CascadeScheduler {
+        CascadeScheduler
     }
 }
 
@@ -125,46 +141,53 @@ impl VendorBPattern {
     }
 }
 
-impl AccessPattern for VendorBPattern {
-    fn name(&self) -> &str {
+impl PatternGenerator for VendorBPattern {
+    fn id(&self) -> &str {
         "custom-vendor-B"
     }
 
-    fn hammers_per_aggressor_per_ref(&self) -> f64 {
+    fn rate_per_ref(&self) -> f64 {
         self.hammers_per_interval as f64 * (self.ratio - 1).max(1) as f64 / self.ratio as f64
     }
 
-    fn run_interval(
-        &self,
-        mc: &mut MemoryController,
-        target: &PatternTarget,
-        interval: u64,
-    ) -> Result<(), DramError> {
-        // The REF ending this interval is TRR-capable iff the engine's
-        // post-increment count is a ratio multiple.
-        let trr_ref_next = (interval + 1).is_multiple_of(self.ratio);
-        if trr_ref_next && self.ratio > 1 {
-            // Diversion interval: steal the sampler with dummy rows.
-            if self.per_bank_sampler {
-                let Some(&dummy) = target.dummies.first() else {
-                    return Ok(()); // bank too small for a safe dummy
-                };
-                mc.module_mut().hammer(target.bank, dummy, INTERVAL_BUDGET)?;
-            } else {
-                for &(bank, dummy) in target.other_bank_dummies.iter().take(4) {
-                    mc.module_mut().hammer_overlapped(bank, dummy, self.dummy_hammers)?;
-                }
-            }
+    fn layout(&self, _mc: &MemoryController, target: &PatternTarget) -> AggressorLayout {
+        let (dummies, other_bank) = if self.per_bank_sampler {
+            // The per-bank sampler only sees its own bank: divert with a
+            // full-budget burst on one same-bank dummy (when the bank is
+            // big enough to offer one).
+            let dummies = target
+                .dummies
+                .first()
+                .map(|&d| RowDose::new(d, INTERVAL_BUDGET))
+                .into_iter()
+                .collect();
+            (dummies, Vec::new())
         } else {
-            match target.aggressors[..] {
-                [a] => mc.module_mut().hammer(target.bank, a, self.hammers_per_interval)?,
-                [a, b] => {
-                    mc.module_mut().hammer_pair(target.bank, a, b, self.hammers_per_interval)?;
-                }
-                _ => {}
-            }
+            let other_bank = target
+                .other_bank_dummies
+                .iter()
+                .take(4)
+                .map(|&(bank, d)| (bank, RowDose::new(d, self.dummy_hammers)))
+                .collect();
+            (Vec::new(), other_bank)
+        };
+        AggressorLayout {
+            aggressors: target
+                .aggressors
+                .iter()
+                .map(|&a| RowDose::new(a, self.hammers_per_interval))
+                .collect(),
+            dummies,
+            other_bank,
         }
-        Ok(())
+    }
+}
+
+impl BuiltinAttack for VendorBPattern {
+    type Sched = RefSyncScheduler;
+
+    fn scheduler(&self) -> RefSyncScheduler {
+        RefSyncScheduler { ratio: self.ratio }
     }
 }
 
@@ -208,68 +231,71 @@ impl VendorCPattern {
     }
 }
 
-impl AccessPattern for VendorCPattern {
-    fn name(&self) -> &str {
+impl PatternGenerator for VendorCPattern {
+    fn id(&self) -> &str {
         "custom-vendor-C"
     }
 
-    fn hammers_per_aggressor_per_ref(&self) -> f64 {
+    fn rate_per_ref(&self) -> f64 {
         let dummy_intervals = (self.dummy_acts as f64 / INTERVAL_BUDGET as f64).ceil();
         self.hammers_per_interval as f64 * (self.ratio as f64 - dummy_intervals).max(0.0)
             / self.ratio as f64
     }
 
-    fn run_interval(
-        &self,
-        mc: &mut MemoryController,
-        target: &PatternTarget,
-        interval: u64,
-    ) -> Result<(), DramError> {
-        // Position inside the TRR window: TRR-capable REFs end the
-        // intervals where (interval + 1) is a ratio multiple, so
-        // `interval % ratio` counts intervals since the last one.
-        let pos = interval % self.ratio;
-        let consumed = pos * INTERVAL_BUDGET;
-        let dummy_now = self.dummy_acts.saturating_sub(consumed).min(INTERVAL_BUDGET);
-        if dummy_now > 0 {
-            let Some(&dummy) = target.dummies.first() else {
-                return Ok(()); // bank too small for a safe dummy
-            };
-            mc.module_mut().hammer(target.bank, dummy, dummy_now)?;
+    fn layout(&self, _mc: &MemoryController, target: &PatternTarget) -> AggressorLayout {
+        AggressorLayout {
+            aggressors: target
+                .aggressors
+                .iter()
+                .map(|&a| RowDose::new(a, self.hammers_per_interval))
+                .collect(),
+            // The window-opening dummy burst; the scheduler portions the
+            // total `dummy_acts` dose across the window's intervals.
+            dummies: target
+                .dummies
+                .first()
+                .map(|&d| RowDose::new(d, self.dummy_acts))
+                .into_iter()
+                .collect(),
+            other_bank: Vec::new(),
         }
-        let budget = INTERVAL_BUDGET - dummy_now;
-        if budget == 0 {
-            return Ok(());
-        }
-        match target.aggressors[..] {
-            [a] => {
-                mc.module_mut().hammer(target.bank, a, budget.min(self.hammers_per_interval * 2))?
-            }
-            [a, b] => {
-                let pairs = (budget / 2).min(self.hammers_per_interval);
-                mc.module_mut().hammer_pair(target.bank, a, b, pairs)?;
-            }
-            _ => {}
-        }
-        Ok(())
+    }
+}
+
+impl BuiltinAttack for VendorCPattern {
+    type Sched = WindowSyncScheduler;
+
+    fn scheduler(&self) -> WindowSyncScheduler {
+        WindowSyncScheduler { ratio: self.ratio, dummy_acts: self.dummy_acts }
     }
 }
 
 /// Builds the paper's custom pattern for a Table-1 module.
 pub fn pattern_for(spec: &ModuleSpec) -> Box<dyn AccessPattern> {
     match spec.vendor {
-        Vendor::A => Box::new(VendorAPattern::paper_optimum()),
-        Vendor::B => Box::new(VendorBPattern::for_module(spec)),
-        Vendor::C => Box::new(VendorCPattern::for_module(spec)),
+        Vendor::A => Box::new(AttackBuilder::from_attack(VendorAPattern::paper_optimum()).build()),
+        Vendor::B => Box::new(AttackBuilder::from_attack(VendorBPattern::for_module(spec)).build()),
+        Vendor::C => Box::new(AttackBuilder::from_attack(VendorCPattern::for_module(spec)).build()),
     }
 }
 
 /// Builds a pattern with a swept per-aggressor hammer rate (Fig. 8).
 pub fn pattern_with_hammers(spec: &ModuleSpec, hammers_per_ref: f64) -> Box<dyn AccessPattern> {
     match spec.vendor {
-        Vendor::A => Box::new(VendorAPattern::with_aggressor_hammers(hammers_per_ref as u64)),
-        Vendor::B => Box::new(VendorBPattern::with_hammers_per_ref(spec, hammers_per_ref)),
-        Vendor::C => Box::new(VendorCPattern::with_hammers_per_ref(spec, hammers_per_ref)),
+        Vendor::A => Box::new(
+            AttackBuilder::from_attack(VendorAPattern::with_aggressor_hammers(
+                hammers_per_ref as u64,
+            ))
+            .build(),
+        ),
+        Vendor::B => Box::new(
+            AttackBuilder::from_attack(VendorBPattern::with_hammers_per_ref(spec, hammers_per_ref))
+                .build(),
+        ),
+        Vendor::C => Box::new(
+            AttackBuilder::from_attack(VendorCPattern::with_hammers_per_ref(spec, hammers_per_ref))
+                .build(),
+        ),
     }
 }
 
@@ -324,5 +350,19 @@ mod tests {
         assert_eq!(pattern_for(&by_id("A3").unwrap()).name(), "custom-vendor-A");
         assert_eq!(pattern_for(&by_id("B9").unwrap()).name(), "custom-vendor-B");
         assert_eq!(pattern_for(&by_id("C13").unwrap()).name(), "custom-vendor-C");
+    }
+
+    #[test]
+    fn factories_assemble_the_canonical_schedulers() {
+        let spec_a = by_id("A3").unwrap();
+        let a = AttackBuilder::from_attack(VendorAPattern::paper_optimum()).build();
+        assert_eq!(a.scheduler_id(), "cascade");
+        let b =
+            AttackBuilder::from_attack(VendorBPattern::for_module(&by_id("B9").unwrap())).build();
+        assert_eq!(b.scheduler_id(), "ref-sync");
+        let c =
+            AttackBuilder::from_attack(VendorCPattern::for_module(&by_id("C13").unwrap())).build();
+        assert_eq!(c.scheduler_id(), "window-sync");
+        assert_eq!(pattern_for(&spec_a).hammers_per_aggressor_per_ref(), 24.0);
     }
 }

@@ -204,24 +204,9 @@ pub fn evaluate_position(
         mc.tick_environment();
     }
 
-    let readout = mc.read_row(config.bank, target.victim).expect("victim address is in range");
-    mc.registry().trace(
-        obs::TraceKind::ReadCheck,
-        mc.now().as_ns(),
-        u32::from(config.bank.index()),
-        Some(victim_phys.index()),
-        &[("flips", readout.flip_count() as u64)],
-        if readout.is_clean() { "clean" } else { "flipped" },
-    );
-    let mut hist: std::collections::BTreeMap<u32, u32> = std::collections::BTreeMap::new();
-    for (_, k) in readout.flips_per_dataword() {
-        *hist.entry(k).or_default() += 1;
-    }
-    PositionResult {
-        victim: victim_phys,
-        flips: readout.flip_count() as u32,
-        dataword_hist: hist.into_iter().collect(),
-    }
+    // The attack's verdict stage reads the victim back and scores it
+    // (flip counting against the weak-cell ground truth by default).
+    pattern.verdict().judge(mc, &target, victim_phys)
 }
 
 /// Runs a sweep over a module built from its Table-1 spec.

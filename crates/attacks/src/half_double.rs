@@ -16,10 +16,11 @@
 //! samplers fall to it with **no dummy-row diversion at all**. The test
 //! suite pins exactly that contrast.
 
-use dram_sim::DramError;
 use softmc::MemoryController;
 
-use crate::pattern::{AccessPattern, PatternTarget};
+use crate::components::{AggressorLayout, BuiltinAttack, PatternGenerator, RowDose};
+use crate::pattern::PatternTarget;
+use crate::schedulers::InterleaveScheduler;
 
 /// The Half-Double pattern: heavy far (distance-2) hammering with a
 /// light near (distance-1) assist.
@@ -45,12 +46,16 @@ impl HalfDouble {
     }
 }
 
-impl AccessPattern for HalfDouble {
-    fn name(&self) -> &str {
+impl PatternGenerator for HalfDouble {
+    fn id(&self) -> &str {
         "half-double"
     }
 
-    fn init_rows(&self, target: &PatternTarget) -> Vec<dram_sim::RowAddr> {
+    fn rate_per_ref(&self) -> f64 {
+        self.far_pairs as f64
+    }
+
+    fn seed_rows(&self, target: &PatternTarget) -> Vec<dram_sim::RowAddr> {
         // The far rows are the real aggressors; touching the near rows
         // even once would plant them in persistent trackers whose
         // pointer walk then refreshes the victim as their neighbour.
@@ -63,34 +68,38 @@ impl AccessPattern for HalfDouble {
             .collect()
     }
 
-    fn hammers_per_aggressor_per_ref(&self) -> f64 {
-        self.far_pairs as f64
-    }
-
-    fn run_interval(
-        &self,
-        mc: &mut MemoryController,
-        target: &PatternTarget,
-        _interval: u64,
-    ) -> Result<(), DramError> {
+    fn layout(&self, mc: &MemoryController, target: &PatternTarget) -> AggressorLayout {
         // Far rows: the victim's ±2 neighbours, derived from the near
-        // aggressors the target builder found (±1 of the victim).
+        // aggressors the target builder found (±1 of the victim). Both
+        // pairs go to the interleave scheduler: the far pair first, the
+        // near assist pair after. A victim too close to the bank edge
+        // for a far pair yields an empty layout (no hammering at all).
         let module = mc.module();
         let victim_phys = module.phys_of(target.victim).index();
         let rows = module.geometry().rows_per_bank;
         let (Some(far_up), far_down) = (victim_phys.checked_sub(2), victim_phys + 2) else {
-            return Ok(());
+            return AggressorLayout::default();
         };
         if far_down >= rows {
-            return Ok(());
+            return AggressorLayout::default();
         }
         let far_up = module.logical_of(dram_sim::PhysRow::new(far_up));
         let far_down = module.logical_of(dram_sim::PhysRow::new(far_down));
-        mc.module_mut().hammer_pair(target.bank, far_up, far_down, self.far_pairs)?;
+        let mut aggressors =
+            vec![RowDose::new(far_up, self.far_pairs), RowDose::new(far_down, self.far_pairs)];
         if let [near_up, near_down] = target.aggressors[..] {
-            mc.module_mut().hammer_pair(target.bank, near_up, near_down, self.near_pairs)?;
+            aggressors.push(RowDose::new(near_up, self.near_pairs));
+            aggressors.push(RowDose::new(near_down, self.near_pairs));
         }
-        Ok(())
+        AggressorLayout { aggressors, ..AggressorLayout::default() }
+    }
+}
+
+impl BuiltinAttack for HalfDouble {
+    type Sched = InterleaveScheduler;
+
+    fn scheduler(&self) -> InterleaveScheduler {
+        InterleaveScheduler
     }
 }
 
@@ -98,6 +107,7 @@ impl AccessPattern for HalfDouble {
 mod tests {
     use super::*;
     use crate::eval::{sweep_bank_module, EvalConfig};
+    use crate::pattern::AccessPattern;
     use dram_sim::Module;
     use trr::{CounterTrr, SamplerTrr};
     use utrr_modules::by_id;

@@ -14,6 +14,15 @@
 //!   for a number of refresh windows and reports the §7.2–§7.4 metrics
 //!   (bit flips per row, % vulnerable rows, flips per 8-byte dataword).
 //!
+//! Every attack decomposes into composable components ([`components`]):
+//! a [`PatternGenerator`] (which rows, what dose), a [`Scheduler`]
+//! (when, relative to the REF cadence — [`schedulers`]), and a
+//! [`verdict::Verdict`] stage (what counts as success), assembled by
+//! [`AttackBuilder`]. The [`fuzz`] module searches that component space
+//! with a seeded frequency-domain fuzzer and re-derives §7.1-class
+//! bypasses against the ground-truth TRR engines; [`reference`] keeps
+//! the frozen pre-refactor implementations as an equivalence oracle.
+//!
 //! # Example
 //!
 //! ```no_run
@@ -27,10 +36,20 @@
 //! ```
 
 pub mod baseline;
+pub mod components;
 pub mod custom;
 pub mod eval;
+pub mod fuzz;
 pub mod half_double;
 pub mod pattern;
+pub mod reference;
+pub mod schedulers;
+pub mod verdict;
 
+pub use components::{
+    AggressorLayout, AttackBuilder, BuiltinAttack, ComposedAttack, PatternGenerator, RowDose,
+    Scheduler, Slot, INTERVAL_BUDGET,
+};
 pub use eval::{BankSweep, EvalConfig, PositionResult};
 pub use pattern::{AccessPattern, PatternTarget};
+pub use verdict::{FlipCountVerdict, Verdict};

@@ -106,6 +106,13 @@ pub trait AccessPattern {
         target: &PatternTarget,
         interval: u64,
     ) -> Result<(), DramError>;
+
+    /// The verdict stage scoring each victim position once the
+    /// hammering windows complete — flip counting by default; builder
+    /// assemblies ([`crate::AttackBuilder::verdict`]) can override it.
+    fn verdict(&self) -> &dyn crate::verdict::Verdict {
+        &crate::verdict::FlipCountVerdict
+    }
 }
 
 #[cfg(test)]

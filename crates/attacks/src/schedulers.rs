@@ -1,0 +1,295 @@
+//! The scheduler library: how the §7 attacks order their activations
+//! within and across `tREFI` intervals.
+//!
+//! Free-running schedulers ([`CascadeScheduler`], [`InterleaveScheduler`],
+//! [`RoundRobinScheduler`]) issue the same slots every interval;
+//! REF-synchronised ones ([`RefSyncScheduler`], [`WindowSyncScheduler`])
+//! phase their work against the TRR-capable-`REF` cadence the way the
+//! paper's attacker does via SMASH-style timing channels (§7.1).
+
+use crate::components::{AggressorLayout, RowDose, Scheduler, Slot, INTERVAL_BUDGET};
+
+/// Emits the standard aggressor interleave: consecutive aggressors are
+/// paired into alternating [`Slot::Pair`]s (the dose of the pair's
+/// first row sets the pair count); a trailing unpaired aggressor gets a
+/// back-to-back [`Slot::Burst`]. With the usual one- or two-aggressor
+/// targets this reproduces `hammer` / `hammer_pair` exactly; Half-Double
+/// hands it two pairs (far then near).
+fn interleave_aggressors(aggressors: &[RowDose], slots: &mut Vec<Slot>) {
+    for chunk in aggressors.chunks(2) {
+        match *chunk {
+            [a] => slots.push(Slot::Burst { row: a.row, acts: a.acts }),
+            [a, b] => slots.push(Slot::Pair { first: a.row, second: b.row, pairs: a.acts }),
+            _ => unreachable!("chunks(2) yields 1- or 2-element chunks"),
+        }
+    }
+}
+
+/// Cascaded hammering, every interval alike: each aggressor back-to-back
+/// in layout order, then each same-bank dummy, then the other-bank
+/// dummies. The vendor-A eviction pattern depends on exactly this order
+/// (§5.2: "cascaded hammering is more effective at evading the TRR
+/// mechanism" — interleaving two non-resident rows would let each
+/// insertion evict the other from the counter table).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CascadeScheduler;
+
+impl Scheduler for CascadeScheduler {
+    fn id(&self) -> &str {
+        "cascade"
+    }
+
+    fn schedule(&self, layout: &AggressorLayout, _interval: u64, slots: &mut Vec<Slot>) {
+        for a in &layout.aggressors {
+            slots.push(Slot::Burst { row: a.row, acts: a.acts });
+        }
+        for d in &layout.dummies {
+            slots.push(Slot::Burst { row: d.row, acts: d.acts });
+        }
+        for &(bank, d) in &layout.other_bank {
+            slots.push(Slot::OtherBank { bank, row: d.row, acts: d.acts });
+        }
+    }
+}
+
+/// Pair-interleaved hammering, every interval alike: the aggressors go
+/// through [`interleave_aggressors`]; dummies and other-bank rows follow
+/// as bursts. The double-sided and Half-Double shape.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InterleaveScheduler;
+
+impl Scheduler for InterleaveScheduler {
+    fn id(&self) -> &str {
+        "interleave"
+    }
+
+    fn schedule(&self, layout: &AggressorLayout, _interval: u64, slots: &mut Vec<Slot>) {
+        interleave_aggressors(&layout.aggressors, slots);
+        for d in &layout.dummies {
+            slots.push(Slot::Burst { row: d.row, acts: d.acts });
+        }
+        for &(bank, d) in &layout.other_bank {
+            slots.push(Slot::OtherBank { bank, row: d.row, acts: d.acts });
+        }
+    }
+}
+
+/// TRRespass-style round robin: one activation per row per turn, rows in
+/// layout order (aggressors then dummies), until every row has received
+/// its dose — "the many sides aim to overflow the TRR tracker" (§2.4).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoundRobinScheduler;
+
+impl Scheduler for RoundRobinScheduler {
+    fn id(&self) -> &str {
+        "round-robin"
+    }
+
+    fn schedule(&self, layout: &AggressorLayout, _interval: u64, slots: &mut Vec<Slot>) {
+        let rows = layout.aggressors.iter().chain(&layout.dummies);
+        let turns = rows.clone().map(|r| r.acts).max().unwrap_or(0);
+        for turn in 0..turns {
+            for r in rows.clone() {
+                if r.acts > turn {
+                    slots.push(Slot::Burst { row: r.row, acts: 1 });
+                }
+            }
+        }
+    }
+}
+
+/// The vendor-B sampler-stealing cadence: hammer the aggressors at full
+/// rate in the intervals after a TRR-capable `REF`, then spend the final
+/// interval before the next one on dummy rows, so the sampler's register
+/// holds a dummy when TRR fires. Same-bank dummies burst in the target
+/// bank (the per-bank sampler of B_TRR3 — footnote 13); other-bank
+/// dummies run overlapped (the chip-wide sampler of B_TRR1/2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefSyncScheduler {
+    /// TRR-to-REF ratio of the target module (4, 9, or 2).
+    pub ratio: u64,
+}
+
+impl Scheduler for RefSyncScheduler {
+    fn id(&self) -> &str {
+        "ref-sync"
+    }
+
+    fn schedule(&self, layout: &AggressorLayout, interval: u64, slots: &mut Vec<Slot>) {
+        // The REF ending this interval is TRR-capable iff the engine's
+        // post-increment count is a ratio multiple.
+        let trr_ref_next = (interval + 1).is_multiple_of(self.ratio);
+        if trr_ref_next && self.ratio > 1 {
+            // Diversion interval: steal the sampler with dummy rows.
+            for d in &layout.dummies {
+                slots.push(Slot::Burst { row: d.row, acts: d.acts });
+            }
+            for &(bank, d) in &layout.other_bank {
+                slots.push(Slot::OtherBank { bank, row: d.row, acts: d.acts });
+            }
+        } else {
+            interleave_aggressors(&layout.aggressors, slots);
+        }
+    }
+}
+
+/// The vendor-C window-exhaustion cadence: right after a TRR-induced
+/// refresh, fill the detector's capture horizon with `dummy_acts` dummy
+/// activations (spilling across intervals as needed), then hammer the
+/// aggressors with whatever budget remains ("it is critical to
+/// synchronize the dummy and aggressor row hammers with TRR-enabled REF
+/// commands").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowSyncScheduler {
+    /// TRR-to-REF ratio of the target module (17, 9, or 8).
+    pub ratio: u64,
+    /// Dummy activations at the start of each TRR window (paper: ≥ 252).
+    pub dummy_acts: u64,
+}
+
+impl Scheduler for WindowSyncScheduler {
+    fn id(&self) -> &str {
+        "window-sync"
+    }
+
+    fn schedule(&self, layout: &AggressorLayout, interval: u64, slots: &mut Vec<Slot>) {
+        // Position inside the TRR window: TRR-capable REFs end the
+        // intervals where (interval + 1) is a ratio multiple, so
+        // `interval % ratio` counts intervals since the last one.
+        let pos = interval % self.ratio;
+        let consumed = pos * INTERVAL_BUDGET;
+        let dummy_now = self.dummy_acts.saturating_sub(consumed).min(INTERVAL_BUDGET);
+        if dummy_now > 0 {
+            let Some(d) = layout.dummies.first() else {
+                return; // bank too small for a safe dummy
+            };
+            slots.push(Slot::Burst { row: d.row, acts: dummy_now });
+        }
+        let budget = INTERVAL_BUDGET - dummy_now;
+        if budget == 0 {
+            return;
+        }
+        match layout.aggressors[..] {
+            [a] => slots.push(Slot::Burst { row: a.row, acts: budget.min(a.acts * 2) }),
+            [a, b] => slots.push(Slot::Pair {
+                first: a.row,
+                second: b.row,
+                pairs: (budget / 2).min(a.acts),
+            }),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_sim::{Bank, RowAddr};
+
+    fn dose(row: u32, acts: u64) -> RowDose {
+        RowDose::new(RowAddr::new(row), acts)
+    }
+
+    fn two_sided_layout() -> AggressorLayout {
+        AggressorLayout {
+            aggressors: vec![dose(10, 24), dose(12, 24)],
+            dummies: (0..16).map(|i| dose(500 + i * 10, 6)).collect(),
+            other_bank: vec![(Bank::new(1), dose(300, 156))],
+        }
+    }
+
+    #[test]
+    fn cascade_orders_aggressors_then_dummies() {
+        let mut slots = Vec::new();
+        CascadeScheduler.schedule(&two_sided_layout(), 0, &mut slots);
+        assert_eq!(slots.len(), 2 + 16 + 1);
+        assert_eq!(slots[0], Slot::Burst { row: RowAddr::new(10), acts: 24 });
+        assert_eq!(slots[1], Slot::Burst { row: RowAddr::new(12), acts: 24 });
+        assert_eq!(slots[2], Slot::Burst { row: RowAddr::new(500), acts: 6 });
+        assert!(matches!(slots[18], Slot::OtherBank { .. }));
+    }
+
+    #[test]
+    fn interleave_pairs_consecutive_aggressors() {
+        let mut slots = Vec::new();
+        let layout = AggressorLayout {
+            aggressors: vec![dose(10, 70), dose(14, 70), dose(11, 3)],
+            ..AggressorLayout::default()
+        };
+        InterleaveScheduler.schedule(&layout, 7, &mut slots);
+        assert_eq!(
+            slots,
+            vec![
+                Slot::Pair { first: RowAddr::new(10), second: RowAddr::new(14), pairs: 70 },
+                Slot::Burst { row: RowAddr::new(11), acts: 3 },
+            ]
+        );
+    }
+
+    #[test]
+    fn round_robin_one_act_per_turn() {
+        let mut slots = Vec::new();
+        let layout = AggressorLayout {
+            aggressors: vec![dose(10, 2), dose(12, 2)],
+            dummies: vec![dose(700, 2)],
+            ..AggressorLayout::default()
+        };
+        RoundRobinScheduler.schedule(&layout, 0, &mut slots);
+        assert_eq!(slots.len(), 6);
+        assert!(slots.iter().all(|s| matches!(s, Slot::Burst { acts: 1, .. })));
+        assert_eq!(slots[0], Slot::Burst { row: RowAddr::new(10), acts: 1 });
+        assert_eq!(slots[2], Slot::Burst { row: RowAddr::new(700), acts: 1 });
+    }
+
+    #[test]
+    fn ref_sync_diverts_only_before_trr_capable_refs() {
+        let sched = RefSyncScheduler { ratio: 4 };
+        let layout = two_sided_layout();
+        // Intervals 0..2 hammer (REF counts 1..3 are not multiples of 4).
+        for interval in 0..3 {
+            let mut slots = Vec::new();
+            sched.schedule(&layout, interval, &mut slots);
+            assert_eq!(slots.len(), 1, "interval {interval} must hammer");
+            assert!(matches!(slots[0], Slot::Pair { .. }));
+        }
+        // Interval 3 ends with the TRR-capable 4th REF: diversion.
+        let mut slots = Vec::new();
+        sched.schedule(&layout, 3, &mut slots);
+        assert_eq!(slots.len(), 17);
+        assert!(slots.iter().take(16).all(|s| matches!(s, Slot::Burst { .. })));
+        assert!(matches!(slots[16], Slot::OtherBank { .. }));
+    }
+
+    #[test]
+    fn window_sync_spills_dummies_then_hammers() {
+        let sched = WindowSyncScheduler { ratio: 17, dummy_acts: 320 };
+        let layout = two_sided_layout();
+        // Interval 0: all budget on dummies (320 > 149).
+        let mut slots = Vec::new();
+        sched.schedule(&layout, 0, &mut slots);
+        assert_eq!(slots, vec![Slot::Burst { row: RowAddr::new(500), acts: 149 }]);
+        // Interval 2: 320 - 2*149 = 22 dummies, the rest on aggressors.
+        let mut slots = Vec::new();
+        sched.schedule(&layout, 2, &mut slots);
+        assert_eq!(slots[0], Slot::Burst { row: RowAddr::new(500), acts: 22 });
+        assert_eq!(
+            slots[1],
+            Slot::Pair { first: RowAddr::new(10), second: RowAddr::new(12), pairs: 24 }
+        );
+        // Interval 3 onward: full hammering budget.
+        let mut slots = Vec::new();
+        sched.schedule(&layout, 3, &mut slots);
+        assert_eq!(slots.len(), 1);
+        assert!(matches!(slots[0], Slot::Pair { pairs: 24, .. }));
+    }
+
+    #[test]
+    fn window_sync_without_dummy_rows_skips_the_interval() {
+        let sched = WindowSyncScheduler { ratio: 17, dummy_acts: 320 };
+        let layout =
+            AggressorLayout { aggressors: vec![dose(10, 74)], ..AggressorLayout::default() };
+        let mut slots = Vec::new();
+        sched.schedule(&layout, 0, &mut slots);
+        assert!(slots.is_empty(), "a pending dummy dose with no dummy row skips everything");
+    }
+}

@@ -1,0 +1,96 @@
+//! The verdict stage: what counts as attack success once the hammering
+//! stops.
+//!
+//! The evaluation harness runs the pattern for its configured windows,
+//! then hands the controller to the attack's verdict, which reads the
+//! victim back and scores it. The default [`FlipCountVerdict`] counts
+//! bit flips against the module's `WeakCells` ground truth (every flip
+//! the readout reports comes from the device's weak-cell physics) and
+//! builds the Fig. 10 per-dataword histogram; alternative verdicts can
+//! be slotted in via [`crate::AttackBuilder::verdict`].
+
+use dram_sim::PhysRow;
+use softmc::MemoryController;
+
+use crate::eval::PositionResult;
+use crate::pattern::PatternTarget;
+
+/// Scores one victim position after the hammering windows complete.
+pub trait Verdict: Send + Sync {
+    /// Short identifier for reports and artifacts.
+    fn id(&self) -> &str;
+
+    /// Reads the victim back and produces the position's result. Also
+    /// responsible for emitting the `read_check` trace event so flight
+    /// recordings keep their provenance chain.
+    fn judge(
+        &self,
+        mc: &mut MemoryController,
+        target: &PatternTarget,
+        victim_phys: PhysRow,
+    ) -> PositionResult;
+}
+
+/// The standard verdict: count bit flips in the victim row and build
+/// the per-8-byte-dataword flip histogram (§7.2–§7.4 metrics).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlipCountVerdict;
+
+impl Verdict for FlipCountVerdict {
+    fn id(&self) -> &str {
+        "flip-count"
+    }
+
+    fn judge(
+        &self,
+        mc: &mut MemoryController,
+        target: &PatternTarget,
+        victim_phys: PhysRow,
+    ) -> PositionResult {
+        let readout = mc.read_row(target.bank, target.victim).expect("victim address is in range");
+        mc.registry().trace(
+            obs::TraceKind::ReadCheck,
+            mc.now().as_ns(),
+            u32::from(target.bank.index()),
+            Some(victim_phys.index()),
+            &[("flips", readout.flip_count() as u64)],
+            if readout.is_clean() { "clean" } else { "flipped" },
+        );
+        let mut hist: std::collections::BTreeMap<u32, u32> = std::collections::BTreeMap::new();
+        for (_, k) in readout.flips_per_dataword() {
+            *hist.entry(k).or_default() += 1;
+        }
+        PositionResult {
+            victim: victim_phys,
+            flips: readout.flip_count() as u32,
+            dataword_hist: hist.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::DoubleSided;
+    use crate::eval::{evaluate_position, EvalConfig};
+    use crate::pattern::AccessPattern;
+    use dram_sim::{Module, ModuleConfig};
+
+    #[test]
+    fn default_verdict_is_flip_count() {
+        let pattern = DoubleSided::max_rate();
+        assert_eq!(AccessPattern::verdict(&pattern).id(), "flip-count");
+    }
+
+    #[test]
+    fn flip_count_histogram_accounts_for_every_flip() {
+        let module = Module::new(ModuleConfig::small_test(), 9);
+        let mut mc = MemoryController::new(module);
+        let config = EvalConfig::quick(1);
+        let result =
+            evaluate_position(&mut mc, &DoubleSided::max_rate(), &config, PhysRow::new(400));
+        assert!(result.flips > 0);
+        let from_hist: u32 = result.dataword_hist.iter().map(|&(k, n)| k * n).sum();
+        assert_eq!(from_hist, result.flips);
+    }
+}

@@ -1,0 +1,123 @@
+//! The §7 attack columns through the *builder-assembled* pipeline,
+//! under fault injection — the component-refactor twin of
+//! `attack_mild.rs`. The vendor patterns are assembled explicitly with
+//! [`AttackBuilder`] (generator + canonical scheduler + flip-count
+//! verdict) rather than through the `custom::pattern_for` factory, so
+//! this suite gates the composed path itself: `mild` faults must leave
+//! the attack metrics within sampling tolerance, and the `none` profile
+//! must be a strict no-op, bit for bit.
+
+use attacks::custom::{VendorAPattern, VendorBPattern, VendorCPattern};
+use attacks::eval::sweep_bank;
+use attacks::{AccessPattern, AttackBuilder, ComposedAttack, EvalConfig};
+use faults::FaultProfile;
+use obs::MetricsRegistry;
+use utrr_modules::{by_id, ModuleSpec, Vendor};
+
+/// One module per vendor, as in the RE fault matrix.
+const VENDOR_SAMPLE: [&str; 3] = ["A5", "B0", "C9"];
+const SAMPLES: u32 = 12;
+
+fn quick_config(profile: FaultProfile, fault_seed: u64) -> EvalConfig {
+    EvalConfig { windows: 1, fault_profile: profile, fault_seed, ..EvalConfig::quick(SAMPLES) }
+}
+
+/// The vendor's §7.1 attack for `spec`, assembled component by
+/// component (the factory route is covered by `attack_mild.rs`).
+fn built_attack(spec: &ModuleSpec) -> ComposedAttack {
+    match spec.vendor {
+        Vendor::A => AttackBuilder::from_attack(VendorAPattern::paper_optimum()).build(),
+        Vendor::B => AttackBuilder::from_attack(VendorBPattern::for_module(spec)).build(),
+        Vendor::C => AttackBuilder::from_attack(VendorCPattern::for_module(spec)).build(),
+    }
+}
+
+#[test]
+fn mild_faults_keep_builder_attack_columns_within_tolerance() {
+    let registry = MetricsRegistry::shared();
+    for id in VENDOR_SAMPLE {
+        let spec = by_id(id).expect("catalog module");
+        let attack = built_attack(&spec);
+        let clean = sweep_bank(&spec, &attack, &quick_config(FaultProfile::None, 0));
+        let mut mild_cfg = quick_config(FaultProfile::Mild, 1);
+        mild_cfg.registry = Some(std::sync::Arc::clone(&registry));
+        let mild = sweep_bank(&spec, &attack, &mild_cfg);
+
+        // The vulnerability percentage is a physics property; transient
+        // read noise on a 12-position sample can move it by at most a
+        // couple of positions.
+        let delta = (mild.vulnerable_pct() - clean.vulnerable_pct()).abs();
+        assert!(
+            delta <= 100.0 * 2.0 / SAMPLES as f64 + 1e-9,
+            "{id}: vulnerable% moved {delta:.1} points under mild faults \
+             (clean {:.1}, mild {:.1})",
+            clean.vulnerable_pct(),
+            mild.vulnerable_pct(),
+        );
+        // Hammer rate is commanded by the generator, not measured — it
+        // must not move at all.
+        assert_eq!(
+            mild.hammers_per_aggressor_per_ref, clean.hammers_per_aggressor_per_ref,
+            "{id}: hammer rate diverged under mild faults"
+        );
+        // A transient flip lands on one bit of one dataword; the worst
+        // dataword can gain or lose at most a couple of flips.
+        let dataword_delta = (mild.max_flips_per_dataword() as i64
+            - clean.max_flips_per_dataword() as i64)
+            .unsigned_abs();
+        assert!(
+            dataword_delta <= 2,
+            "{id}: max flips/dataword moved by {dataword_delta} under mild faults"
+        );
+    }
+    // The runs must actually have been faulty, or the tolerance checks
+    // prove nothing.
+    let injected = registry.counter(faults::CTR_INJECTED_TOTAL).get();
+    assert!(injected > 0, "mild profile injected no faults at all");
+}
+
+#[test]
+fn none_profile_builder_attack_is_strict_noop() {
+    let spec = by_id("A5").expect("catalog module");
+    let attack = built_attack(&spec);
+
+    let clean_registry = MetricsRegistry::shared();
+    let mut clean_cfg = quick_config(FaultProfile::None, 0);
+    clean_cfg.registry = Some(std::sync::Arc::clone(&clean_registry));
+    let clean = sweep_bank(&spec, &attack, &clean_cfg);
+
+    // Under `None` the plan is never installed: any fault seed must be
+    // irrelevant and the sweep identical, result and command stream both.
+    let noop_registry = MetricsRegistry::shared();
+    let mut noop_cfg = quick_config(FaultProfile::None, 0xDEAD_BEEF);
+    noop_cfg.registry = Some(std::sync::Arc::clone(&noop_registry));
+    let noop = sweep_bank(&spec, &attack, &noop_cfg);
+
+    assert_eq!(noop, clean, "BankSweep diverged under the none profile");
+    for name in [dram_sim::metrics::CTR_ACT, dram_sim::metrics::CTR_ROW_READS] {
+        assert_eq!(
+            noop_registry.counter(name).get(),
+            clean_registry.counter(name).get(),
+            "command counter {name} diverged under the none profile"
+        );
+    }
+    assert_eq!(noop_registry.counter(faults::CTR_INJECTED_TOTAL).get(), 0);
+}
+
+#[test]
+fn builder_attack_matches_the_factory_route() {
+    // `custom::pattern_for` and the explicit assembly above must be the
+    // same attack — same name, same sweep, flip for flip.
+    for id in VENDOR_SAMPLE {
+        let spec = by_id(id).expect("catalog module");
+        let config = quick_config(FaultProfile::None, 0);
+        let built = built_attack(&spec);
+        let factory = attacks::custom::pattern_for(&spec);
+        assert_eq!(built.name(), factory.name(), "{id}: pattern identity diverged");
+        assert_eq!(
+            sweep_bank(&spec, &built, &config),
+            sweep_bank(&spec, factory.as_ref(), &config),
+            "{id}: builder and factory sweeps diverged"
+        );
+    }
+}

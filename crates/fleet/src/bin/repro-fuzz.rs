@@ -1,0 +1,181 @@
+//! Deterministic TRR-bypass fuzzer driver: searches the frequency-domain
+//! pattern space against ground-truth TRR engines and reports the best
+//! bypass candidate per engine.
+//!
+//! Usage:
+//!   repro-fuzz [--seed S] [--rounds R] [--candidates N] [--elites E]
+//!              [--engines A_TRR1,B_TRR1,...] [--rows N] [--samples N]
+//!              [--windows N] [--threads N] [--out FILE.jsonl]
+//!              [--fleet N] [--fleet-seed S]
+//!              [--faults none|mild|hostile] [--fault-seed N]
+//!              [--metrics-out PATH] [--bench-out PATH]
+//!              [--trace-out PATH] [--trace-chrome PATH]
+//!
+//! Every candidate is a pure function of `(seed, round, slot)`, so
+//! stdout and the `--out` artifact (schema `utrr-fuzz/1`) are
+//! byte-identical at any `--threads N` — wall-clock timing goes to
+//! stderr only. The `bypass: engine <V>` leader lines are the CI
+//! fuzz-smoke contract: a known-weak engine must keep producing one.
+//!
+//! `--fleet N` re-scores each engine's leader pattern across `N`
+//! synthetic modules (the `repro-fleet` population generator), checking
+//! that a bypass found against the catalog representative generalises
+//! across per-die variation.
+
+use attacks::eval::{sweep_bank, EvalConfig};
+use attacks::fuzz::{render_fuzz_jsonl, run_fuzz, FuzzConfig, FuzzPattern};
+use attacks::AttackBuilder;
+use utrr_bench::{
+    arg_value, emit_metrics, emit_trace, fault_args, install_trace, metrics_out_path, par_config,
+    run_registry, threads_arg, trace_args, BenchPhases,
+};
+use utrr_fleet::synth_spec;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let seed: u64 = arg_value(&args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(1);
+    let rounds: u32 = arg_value(&args, "--rounds").and_then(|v| v.parse().ok()).unwrap_or(3);
+    let candidates: u32 =
+        arg_value(&args, "--candidates").and_then(|v| v.parse().ok()).unwrap_or(24);
+    let elites: u32 = arg_value(&args, "--elites").and_then(|v| v.parse().ok()).unwrap_or(4);
+    let engines: Vec<String> = arg_value(&args, "--engines")
+        .unwrap_or_else(|| "A_TRR1,B_TRR1,C_TRR1".into())
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect();
+    let rows: u32 = arg_value(&args, "--rows").and_then(|v| v.parse().ok()).unwrap_or(1_024);
+    let samples: u32 = arg_value(&args, "--samples").and_then(|v| v.parse().ok()).unwrap_or(6);
+    let windows: u32 = arg_value(&args, "--windows").and_then(|v| v.parse().ok()).unwrap_or(1);
+    let out_path = arg_value(&args, "--out").map(std::path::PathBuf::from);
+    let fleet: u64 = arg_value(&args, "--fleet").and_then(|v| v.parse().ok()).unwrap_or(0);
+    let fleet_seed: u64 =
+        arg_value(&args, "--fleet-seed").and_then(|v| v.parse().ok()).unwrap_or(1);
+    let (fault_profile, fault_seed) = fault_args(&args);
+    let metrics_path = metrics_out_path(&args);
+    let bench_path = arg_value(&args, "--bench-out").map(std::path::PathBuf::from);
+    let trace = trace_args(&args);
+    let threads = threads_arg(&args);
+    let registry = run_registry();
+    install_trace(&registry, &trace);
+    let pool = par_config(threads, &registry);
+    let mut bench = BenchPhases::new(threads);
+
+    let config = FuzzConfig {
+        seed,
+        rounds,
+        candidates,
+        elites,
+        engines,
+        eval: EvalConfig {
+            sample_count: samples,
+            windows,
+            scaled_rows: Some(rows),
+            registry: Some(std::sync::Arc::clone(&registry)),
+            fault_profile,
+            fault_seed,
+            ..EvalConfig::quick(samples)
+        },
+    };
+
+    println!(
+        "# TRR-bypass fuzz — seed {seed}, {rounds} rounds x {candidates} candidates, \
+         {} elites, engines [{}]",
+        config.elites,
+        config.engines.join(","),
+    );
+    println!(
+        "# eval: {rows} rows/bank, {samples} positions, {windows} windows, faults {fault_profile}"
+    );
+
+    let start = std::time::Instant::now();
+    let outcome = bench.time("fuzz_sweep", || {
+        run_fuzz(&config, &pool).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        })
+    });
+    let elapsed = start.elapsed();
+    let evaluated = outcome.candidates.len();
+    eprintln!("fuzzed {evaluated} candidates in {:.2}s", elapsed.as_secs_f64());
+    bench.scalar("fuzz_candidates_per_sec", evaluated as f64 / elapsed.as_secs_f64().max(1e-9));
+
+    println!();
+    println!("leaderboard ({} candidates evaluated):", evaluated);
+    for (e, engine) in outcome.engines.iter().enumerate() {
+        match outcome.leaders.get(e) {
+            Some(leader) if leader.scores[e].flips > 0 => {
+                let s = leader.scores[e];
+                println!(
+                    "bypass: engine {engine} ({}) — {} flips, {}/{} positions \
+                     [round {} candidate {}] {}",
+                    outcome.specs[e],
+                    s.flips,
+                    s.vulnerable,
+                    config.eval.sample_count,
+                    leader.round,
+                    leader.index,
+                    leader.params.describe(),
+                );
+            }
+            _ => println!("engine {engine} ({}): no bypass found", outcome.specs[e]),
+        }
+    }
+
+    if fleet > 0 {
+        println!();
+        println!("fleet generalisation — {fleet} synthetic modules, fleet seed {fleet_seed}:");
+        bench.time("fuzz_fleet_score", || {
+            for (e, engine) in outcome.engines.iter().enumerate() {
+                let Some(leader) = outcome.leaders.get(e).filter(|l| l.scores[e].flips > 0) else {
+                    println!("  engine {engine}: no leader to score");
+                    continue;
+                };
+                let params = leader.params;
+                let eval = config.eval.clone();
+                let indices: Vec<u64> = (0..fleet).collect();
+                let flips: Vec<u64> = par::par_map(&pool, &indices, |&i| {
+                    let synth = synth_spec(fleet_seed, i, rows.max(2_048));
+                    let attack = AttackBuilder::from_attack(FuzzPattern { params }).build();
+                    let sweep = sweep_bank(&synth.spec, &attack, &eval);
+                    sweep.results.iter().map(|r| u64::from(r.flips)).sum()
+                });
+                let bypassed = flips.iter().filter(|&&f| f > 0).count();
+                let total: u64 = flips.iter().sum();
+                println!(
+                    "  engine {engine}: leader bypasses {bypassed}/{fleet} modules \
+                     ({total} flips total)"
+                );
+            }
+        });
+    }
+
+    if let Some(path) = &out_path {
+        let artifact = render_fuzz_jsonl(&config, &outcome);
+        match std::fs::write(path, &artifact) {
+            Ok(()) => eprintln!("fuzz artifact: {}", path.display()),
+            Err(e) => {
+                eprintln!("error: writing {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(path) = &bench_path {
+        match bench.write(path) {
+            Ok(()) => eprintln!("bench artifact: {}", path.display()),
+            Err(e) => {
+                eprintln!("error: writing {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Err(e) = emit_trace(&registry, &trace) {
+        eprintln!("error: writing trace artifact: {e}");
+        std::process::exit(1);
+    }
+    if let Err(e) = emit_metrics(&registry, metrics_path.as_deref()) {
+        eprintln!("error: writing metrics artifact: {e}");
+        std::process::exit(1);
+    }
+}

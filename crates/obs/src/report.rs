@@ -140,6 +140,33 @@ pub fn render_summary(registry: &MetricsRegistry) -> String {
         }
     }
 
+    // The bypass fuzzer's search balance: candidates drawn, candidate ×
+    // engine evaluations, bypasses found, and how many candidates were
+    // elite mutations rather than fresh samples. The hit rate is the
+    // line that matters when tuning the sampling envelopes. Runs
+    // without a fuzz phase render nothing.
+    let fuzz: Vec<_> =
+        counters.iter().filter(|(name, _)| name.starts_with("attacks.fuzz.")).collect();
+    if fuzz.iter().any(|(_, v)| *v > 0) {
+        let _ = writeln!(out, "fuzz search");
+        for (name, value) in &fuzz {
+            let _ = writeln!(out, "  {name:<name_width$} {value:>14}");
+        }
+        let get = |suffix: &str| {
+            fuzz.iter().find(|(name, _)| name == &format!("attacks.fuzz.{suffix}")).map(|(_, v)| *v)
+        };
+        if let (Some(evals), Some(bypasses)) = (get("evals"), get("bypasses")) {
+            if evals > 0 {
+                let _ = writeln!(
+                    out,
+                    "  {:<name_width$} {:>13.1}%",
+                    "bypass hit rate",
+                    100.0 * bypasses as f64 / evals as f64,
+                );
+            }
+        }
+    }
+
     if !events.is_empty() || dropped > 0 {
         let mut by_kind: BTreeMap<&str, u64> = BTreeMap::new();
         for event in &events {
@@ -196,6 +223,28 @@ mod tests {
         registry.counter("utrr.recovery.vote_widenings");
         registry.counter("dram.cmd.act").add(1);
         assert!(!render_summary(&registry).contains("recovery ladder"));
+    }
+
+    #[test]
+    fn fuzz_counters_get_a_section_with_hit_rate() {
+        let registry = MetricsRegistry::new();
+        registry.counter("attacks.fuzz.candidates").add(64);
+        registry.counter("attacks.fuzz.evals").add(192);
+        registry.counter("attacks.fuzz.bypasses").add(6);
+        registry.counter("attacks.fuzz.mutations").add(8);
+        let summary = render_summary(&registry);
+        assert!(summary.contains("fuzz search"), "missing section:\n{summary}");
+        assert!(summary.contains("attacks.fuzz.bypasses"), "{summary}");
+        assert!(summary.contains("bypass hit rate"), "{summary}");
+        assert!(summary.contains("3.1%"), "6/192 should render as 3.1%:\n{summary}");
+    }
+
+    #[test]
+    fn quiet_fuzzer_renders_no_section() {
+        let registry = MetricsRegistry::new();
+        registry.counter("attacks.fuzz.candidates");
+        registry.counter("dram.cmd.act").add(1);
+        assert!(!render_summary(&registry).contains("fuzz search"));
     }
 
     #[test]
